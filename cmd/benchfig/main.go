@@ -1,0 +1,122 @@
+// Command benchfig regenerates the evaluation of Fan et al. (VLDB 2008):
+// the runtime and cover-cardinality series behind Figures 5-8, the
+// complexity-table demonstrations (Tables 1 and 2), and the Example 4.1
+// blowup ablation.
+//
+// Usage:
+//
+//	benchfig [-exp all|fig5|fig6|fig7|fig8|table1|table2|blowup]
+//	         [-trials N] [-seed S] [-sigma N] [-quick]
+//
+// With -quick the sweeps run on reduced grids (useful for smoke tests);
+// otherwise the paper's full parameter grids are used: |Σ| ∈ 200..2000,
+// |Y| ∈ 5..50, |F| ∈ 1..10, |Ec| ∈ 2..11, var% ∈ {40, 50}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cfdprop/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, table2, blowup")
+	trials := flag.Int("trials", 3, "random workloads per data point")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	sigma := flag.Int("sigma", 2000, "|Sigma| for the figure sweeps that fix it")
+	quick := flag.Bool("quick", false, "reduced grids for a fast smoke run")
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, Trials: *trials, SigmaSize: *sigma}
+	if *quick {
+		cfg.SigmaSize = 400
+		cfg.Trials = 1
+		cfg.VarPcts = []int{40}
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig5":
+			xs := []int(nil)
+			if *quick {
+				xs = []int{100, 200, 400}
+			}
+			series, err := bench.Fig5(cfg, xs)
+			if err != nil {
+				return err
+			}
+			bench.Print(os.Stdout, series)
+		case "fig6":
+			xs := []int(nil)
+			if *quick {
+				xs = []int{5, 15, 25}
+			}
+			series, err := bench.Fig6(cfg, xs)
+			if err != nil {
+				return err
+			}
+			bench.Print(os.Stdout, series)
+		case "fig7":
+			xs := []int(nil)
+			if *quick {
+				xs = []int{1, 5, 10}
+			}
+			series, err := bench.Fig7(cfg, xs)
+			if err != nil {
+				return err
+			}
+			bench.Print(os.Stdout, series)
+		case "fig8":
+			xs := []int(nil)
+			if *quick {
+				xs = []int{2, 4, 6}
+			}
+			series, err := bench.Fig8(cfg, xs)
+			if err != nil {
+				return err
+			}
+			bench.Print(os.Stdout, series)
+		case "table1":
+			rows, err := bench.RunTable(true)
+			if err != nil {
+				return err
+			}
+			bench.PrintTable(os.Stdout, "Table 1: complexity of CFD propagation (demonstrated)", rows)
+		case "table2":
+			rows, err := bench.RunTable(false)
+			if err != nil {
+				return err
+			}
+			bench.PrintTable(os.Stdout, "Table 2: complexity of FD propagation (demonstrated)", rows)
+		case "blowup":
+			ns := []int{2, 4, 6, 8, 10}
+			if *quick {
+				ns = []int{2, 4, 6}
+			}
+			points, err := bench.Blowup(ns, 0)
+			if err != nil {
+				return err
+			}
+			bench.PrintBlowup(os.Stdout, points)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "blowup", "fig5", "fig6", "fig7", "fig8"}
+	}
+	for _, n := range names {
+		// Figure names with a/b suffixes share one sweep.
+		n = strings.TrimSuffix(strings.TrimSuffix(n, "a"), "b")
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command cfdcheck validates CSV data against a set of CFDs — the data
+// cleaning application of CFDs (Fan et al., §1): detect tuples that are
+// inconsistent with the dependencies.
+//
+// Usage:
+//
+//	cfdcheck -data customers.csv -cfds rules.txt [-relation R] [-all]
+//
+// The CSV's first row must be the header (attribute names). The rules file
+// holds one CFD per line in the text syntax of the library, e.g.
+//
+//	R([CC=44, zip] -> [street])
+//	R(AC -> city)
+//	# comment lines and blank lines are ignored
+//
+// Exit status is 0 when the data satisfies every CFD, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "CSV file with a header row")
+	cfdsPath := flag.String("cfds", "", "file with one CFD per line")
+	relation := flag.String("relation", "R", "relation name the CFDs are defined on")
+	all := flag.Bool("all", false, "report every violation, not only the first per CFD")
+	flag.Parse()
+
+	if *dataPath == "" || *cfdsPath == "" {
+		fmt.Fprintln(os.Stderr, "cfdcheck: -data and -cfds are required")
+		os.Exit(2)
+	}
+
+	in, err := loadCSV(*dataPath, *relation)
+	if err != nil {
+		fatal(err)
+	}
+	rules, err := loadCFDs(*cfdsPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	bad := 0
+	for _, c := range rules {
+		vs, err := cfd.Violations(in, c)
+		if err != nil {
+			fatal(err)
+		}
+		if len(vs) == 0 {
+			fmt.Printf("ok    %s\n", c)
+			continue
+		}
+		bad++
+		fmt.Printf("FAIL  %s: %d violation(s)\n", c, len(vs))
+		limit := 1
+		if *all {
+			limit = len(vs)
+		}
+		for i := 0; i < limit; i++ {
+			v := vs[i]
+			fmt.Printf("      rows %d and %d: %s\n", v.T1+1, v.T2+1, v.Reason)
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("%d of %d CFDs violated\n", bad, len(rules))
+		os.Exit(1)
+	}
+	fmt.Printf("all %d CFDs satisfied over %d tuples\n", len(rules), in.Len())
+}
+
+func loadCSV(path, relation string) (*rel.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.TrimLeadingSpace = true
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: missing header row", path)
+	}
+	attrs := make([]rel.Attribute, len(rows[0]))
+	for i, name := range rows[0] {
+		attrs[i] = rel.Attribute{Name: strings.TrimSpace(name), Domain: rel.Infinite()}
+	}
+	schema, err := rel.NewSchema(relation, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	in := rel.NewInstance(schema)
+	for i, row := range rows[1:] {
+		if err := in.Insert(rel.Tuple(row)); err != nil {
+			return nil, fmt.Errorf("%s row %d: %w", path, i+2, err)
+		}
+	}
+	return in, nil
+}
+
+func loadCFDs(path string) ([]*cfd.CFD, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []*cfd.CFD
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		c, err := cfd.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, line, err)
+		}
+		out = append(out, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no CFDs found", path)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cfdcheck: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cfdprop/internal/cfd"
+)
+
+func TestLoadCSV(t *testing.T) {
+	in, err := loadCSV(filepath.Join("testdata", "customers.csv"), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 6 {
+		t.Fatalf("want 6 tuples, got %d", in.Len())
+	}
+	if in.Schema.Arity() != 7 || !in.Schema.Has("CC") {
+		t.Errorf("header mis-parsed: %v", in.Schema)
+	}
+	if v, _ := in.Value(0, "city"); v != "LDN" {
+		t.Errorf("cell mis-parsed: %q", v)
+	}
+}
+
+func TestLoadCFDs(t *testing.T) {
+	rules, err := loadCFDs(filepath.Join("testdata", "rules.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 6 {
+		t.Fatalf("want 6 rules (comments skipped), got %d", len(rules))
+	}
+}
+
+// TestFigure1Verdicts replays the Fig. 1 data against the rules file: the
+// propagated CFDs hold, the plain FDs fail.
+func TestFigure1Verdicts(t *testing.T) {
+	in, err := loadCSV(filepath.Join("testdata", "customers.csv"), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := loadCFDs(filepath.Join("testdata", "rules.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{ // rule index -> satisfied
+		rules[0].String(): true,
+		rules[1].String(): true,
+		rules[2].String(): true,
+		rules[3].String(): true,
+		rules[4].String(): false, // zip -> street
+		rules[5].String(): false, // AC -> city
+	}
+	for _, r := range rules {
+		ok, err := cfd.Satisfies(in, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != want[r.String()] {
+			t.Errorf("%s: satisfied=%v, want %v", r, ok, want[r.String()])
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := loadCSV(filepath.Join("testdata", "missing.csv"), "R"); err == nil {
+		t.Error("missing file must fail")
+	}
+	if _, err := loadCFDs(filepath.Join("testdata", "missing.txt")); err == nil {
+		t.Error("missing rules must fail")
+	}
+}

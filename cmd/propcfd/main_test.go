@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/core"
+	"cfdprop/internal/spec"
+)
+
+// TestExampleSpecIsUsable guards the -example output: it must decode and
+// produce the expected cover.
+func TestExampleSpecIsUsable(t *testing.T) {
+	db, sigma, view, err := spec.Decode([]byte(exampleSpec))
+	if err != nil {
+		t.Fatalf("example spec broken: %v", err)
+	}
+	if len(view.Disjuncts) != 1 {
+		t.Fatalf("example spec must be a single SPC view")
+	}
+	res, err := core.PropCFDSPC(db, view.Disjuncts[0], sigma, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three source CFDs survive (identity-plus-constant view) and the
+	// constant column is added.
+	if len(res.Cover) != 4 {
+		t.Fatalf("example cover has %d CFDs, want 4: %v", len(res.Cover), res.Cover)
+	}
+	ok, err := res.IsPropagated(cfd.MustParse(`R([] -> [CC=44])`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("CC must be constant 44 in the example")
+	}
+	ok, err = res.IsPropagated(cfd.MustParse(`R([CC=44, zip] -> [street])`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("ϕ1 must be implied by the example cover")
+	}
+}

@@ -1,0 +1,23 @@
+// Package cfdprop is a Go implementation of "Propagating Functional
+// Dependencies with Conditions" (Wenfei Fan, Shuai Ma, Yanli Hu, Jie Liu,
+// Yinghui Wu; VLDB 2008): reasoning about which conditional functional
+// dependencies (CFDs) are guaranteed to hold on a view, given dependencies
+// on its sources.
+//
+// The library lives under internal/:
+//
+//   - internal/rel       — relational model (domains, schemas, instances)
+//   - internal/cfd       — CFDs: pattern tuples, satisfaction, violations
+//   - internal/algebra   — SPC / SPCU views in normal form, evaluator
+//   - internal/sym, internal/chase, internal/tableau — the chase machinery
+//   - internal/implication — CFD implication, consistency, MinCover
+//   - internal/propagation — the Σ |=V φ decision procedures (§3)
+//   - internal/emptiness — the view-emptiness problem (§3.3)
+//   - internal/core      — PropCFD_SPC: minimal propagation covers (§4)
+//   - internal/closure   — the exponential closure-based baseline
+//   - internal/gen, internal/bench — §5 workload generators and harness
+//
+// Entry points: cmd/propcfd (compute covers), cmd/cfdcheck (validate data
+// against CFDs), cmd/benchfig (regenerate the paper's figures and tables);
+// runnable walk-throughs live in examples/.
+package cfdprop

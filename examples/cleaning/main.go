@@ -1,0 +1,90 @@
+// Cleaning shows the data-cleaning application of propagation analysis
+// (§1, application 3): CFDs defined on a target view need not be validated
+// against materialized data when they are provably propagated from the
+// sources — and the remaining, non-propagated ones are checked directly,
+// flagging dirty tuples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/core"
+	"cfdprop/internal/rel"
+)
+
+func main() {
+	// Source: a customer registry whose zip code determines street within
+	// the UK, and whose area code 20 pins the city to London.
+	cust := rel.InfiniteSchema("cust", "AC", "name", "street", "city", "zip", "country")
+	db := rel.MustDBSchema(cust)
+	sigma := []*cfd.CFD{
+		cfd.MustParse(`cust([country=UK, zip] -> [street])`),
+		cfd.MustParse(`cust([country=UK, AC=20] -> [city=London])`),
+	}
+
+	// The cleaning target is a UK-only view.
+	view := &algebra.SPC{
+		Name:       "uk",
+		Atoms:      []algebra.RelAtom{{Source: "cust", Attrs: []string{"AC", "name", "street", "city", "zip", "country"}}},
+		Selection:  []algebra.EqAtom{{Left: "country", IsConst: true, Right: "UK"}},
+		Projection: []string{"AC", "name", "street", "city", "zip"},
+	}
+	res, err := core.PropCFDSPC(db, view, sigma, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("propagation cover of the uk view:")
+	for _, c := range res.Cover {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// Target-side data quality rules.
+	rules := []*cfd.CFD{
+		cfd.MustParse(`uk([zip] -> [street])`),        // propagated: skip validation
+		cfd.MustParse(`uk([AC=20] -> [city=London])`), // propagated: skip validation
+		cfd.MustParse(`uk([AC] -> [city])`),           // NOT propagated: must validate
+	}
+	fmt.Println("\nvalidation plan:")
+	var mustValidate []*cfd.CFD
+	for _, r := range rules {
+		ok, err := res.IsPropagated(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok {
+			fmt.Printf("  %-38s guaranteed by the sources — no scan needed\n", r)
+		} else {
+			fmt.Printf("  %-38s not guaranteed — scan the view\n", r)
+			mustValidate = append(mustValidate, r)
+		}
+	}
+
+	// Materialize a (dirty) view instance and run only the needed checks.
+	vs, err := view.ViewSchema(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := rel.NewInstance(vs)
+	data.MustInsert("20", "Mike", "Portland", "London", "W1B 1JL")
+	data.MustInsert("20", "Rick", "Portland", "London", "W1B 1JL")
+	data.MustInsert("131", "Anna", "Princes", "Edinburgh", "EH1 1AA")
+	data.MustInsert("131", "Marc", "George", "Glasgow", "EH1 2BB") // dirty: AC 131 with two cities
+
+	fmt.Println("\nscanning the view for the remaining rules:")
+	for _, r := range mustValidate {
+		vs, err := cfd.Violations(data, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(vs) == 0 {
+			fmt.Printf("  %s: clean\n", r)
+			continue
+		}
+		for _, v := range vs {
+			fmt.Printf("  %s: rows %d,%d — %s\n", r, v.T1+1, v.T2+1, v.Reason)
+		}
+	}
+}

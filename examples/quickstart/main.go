@@ -1,0 +1,59 @@
+// Quickstart: define a source schema and dependencies, define an SPC view,
+// and compute the minimal cover of all CFDs propagated to the view.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/core"
+	"cfdprop/internal/rel"
+)
+
+func main() {
+	// A source relation of orders: order id, customer, country, tax rate,
+	// item and price.
+	orders := rel.InfiniteSchema("orders", "oid", "cust", "country", "tax", "item", "price")
+	db := rel.MustDBSchema(orders)
+
+	// Source dependencies: oid is a key for everything; within the UK the
+	// tax rate is fixed at 20.
+	sigma := []*cfd.CFD{
+		cfd.MustParse(`orders([oid] -> [cust, country, tax, item, price])`),
+		cfd.MustParse(`orders([country=UK] -> [tax=20])`),
+	}
+
+	// A view of UK orders that hides the country and tax columns.
+	view := &algebra.SPC{
+		Name:       "uk_orders",
+		Atoms:      []algebra.RelAtom{{Source: "orders", Attrs: []string{"oid", "cust", "country", "tax", "item", "price"}}},
+		Selection:  []algebra.EqAtom{{Left: "country", IsConst: true, Right: "UK"}},
+		Projection: []string{"oid", "cust", "item", "price"},
+	}
+
+	res, err := core.PropCFDSPC(db, view, sigma, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("view: %s\n", view)
+	fmt.Printf("minimal propagation cover (%d CFDs):\n", len(res.Cover))
+	for _, c := range res.Cover {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// Ask whether specific view dependencies are guaranteed.
+	for _, q := range []string{
+		`uk_orders([oid] -> [price])`, // yes: restriction of the key
+		`uk_orders([cust] -> [item])`, // no: customers order many items
+	} {
+		phi := cfd.MustParse(q)
+		ok, err := res.IsPropagated(phi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("propagated? %-34s %v\n", phi, ok)
+	}
+}

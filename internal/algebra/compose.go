@@ -1,0 +1,214 @@
+package algebra
+
+import (
+	"fmt"
+
+	"cfdprop/internal/rel"
+)
+
+// Compose substitutes the inner SPC view into an outer SPC view defined
+// over the inner's output relation, producing a single SPC query over the
+// base schema — the classical closure of conjunctive queries under
+// composition, in the paper's normal form.
+//
+// Outer atoms whose Source is inner.Name are expanded into fresh copies of
+// the inner's atoms; outer attribute names for those copies are positional
+// aliases of the inner projection. Constant-relation attributes of the
+// inner view become constants in the composition: selections on them are
+// partially evaluated (an unsatisfiable comparison yields ErrEmptyCompose)
+// and projections of them become constant-relation attributes of the
+// result.
+func Compose(db *rel.DBSchema, outer, inner *SPC) (*SPC, error) {
+	if err := inner.Validate(db); err != nil {
+		return nil, fmt.Errorf("algebra: compose: inner: %w", err)
+	}
+	innerSchema, err := inner.ViewSchema(db)
+	if err != nil {
+		return nil, err
+	}
+	extended, err := rel.NewDBSchema(append(db.Relations(), innerSchema)...)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: compose: inner name %q collides with a base relation", inner.Name)
+	}
+	if err := outer.Validate(extended); err != nil {
+		return nil, fmt.Errorf("algebra: compose: outer: %w", err)
+	}
+
+	out := &SPC{Name: outer.Name}
+	out.Consts = append(out.Consts, outer.Consts...)
+
+	// constOf maps an outer attribute name to a constant when it aliases a
+	// constant-relation column of the inner view.
+	constOf := map[string]string{}
+	// rename maps outer attribute names to result attribute names.
+	rename := map[string]string{}
+
+	innerConsts := map[string]string{}
+	for _, c := range inner.Consts {
+		innerConsts[c.Attr] = c.Value
+	}
+
+	copyNo := 0
+	for _, atom := range outer.Atoms {
+		if atom.Source != inner.Name {
+			// Base atom: keep, prefixing to stay disjoint from expansions.
+			copyNo++
+			pre := fmt.Sprintf("o%d_", copyNo)
+			attrs := make([]string, len(atom.Attrs))
+			for i, a := range atom.Attrs {
+				attrs[i] = pre + a
+				rename[a] = attrs[i]
+			}
+			out.Atoms = append(out.Atoms, RelAtom{Source: atom.Source, Attrs: attrs})
+			continue
+		}
+		// Expand a copy of the inner view.
+		copyNo++
+		pre := fmt.Sprintf("i%d_", copyNo)
+		innerRename := map[string]string{}
+		for _, ia := range inner.Atoms {
+			attrs := make([]string, len(ia.Attrs))
+			for i, a := range ia.Attrs {
+				attrs[i] = pre + a
+				innerRename[a] = attrs[i]
+			}
+			out.Atoms = append(out.Atoms, RelAtom{Source: ia.Source, Attrs: attrs})
+		}
+		for _, e := range inner.Selection {
+			ne := EqAtom{Left: innerRename[e.Left], IsConst: e.IsConst, Right: e.Right}
+			if !e.IsConst {
+				ne.Right = innerRename[e.Right]
+			}
+			out.Selection = append(out.Selection, ne)
+		}
+		// Positional aliasing: the outer atom's i-th attribute is the
+		// inner projection's i-th attribute.
+		for i, outerName := range atom.Attrs {
+			innerAttr := inner.Projection[i]
+			if v, isConst := innerConsts[innerAttr]; isConst {
+				constOf[outerName] = v
+				continue
+			}
+			rename[outerName] = innerRename[innerAttr]
+		}
+	}
+
+	// Rewrite the outer selection under rename/constOf.
+	for _, e := range outer.Selection {
+		lc, lIsConst := constOf[e.Left]
+		switch {
+		case e.IsConst && lIsConst:
+			if lc != e.Right {
+				return nil, ErrEmptyCompose{Why: fmt.Sprintf("selection %s contradicts inner constant %s=%s", e, e.Left, lc)}
+			}
+			// Always true: drop.
+		case e.IsConst:
+			out.Selection = append(out.Selection, EqAtom{Left: rename[e.Left], IsConst: true, Right: e.Right})
+		default:
+			rc, rIsConst := constOf[e.Right]
+			switch {
+			case lIsConst && rIsConst:
+				if lc != rc {
+					return nil, ErrEmptyCompose{Why: fmt.Sprintf("selection %s equates distinct inner constants %s and %s", e, lc, rc)}
+				}
+			case lIsConst:
+				out.Selection = append(out.Selection, EqAtom{Left: rename[e.Right], IsConst: true, Right: lc})
+			case rIsConst:
+				out.Selection = append(out.Selection, EqAtom{Left: rename[e.Left], IsConst: true, Right: rc})
+			default:
+				out.Selection = append(out.Selection, EqAtom{Left: rename[e.Left], Right: rename[e.Right]})
+			}
+		}
+	}
+
+	// Rewrite the projection; constant aliases become Rc columns.
+	for _, y := range outer.Projection {
+		if v, isConst := constOf[y]; isConst {
+			out.Consts = append(out.Consts, ConstAtom{Attr: y, Value: v})
+			out.Projection = append(out.Projection, y)
+			continue
+		}
+		if _, alreadyConst := findConst(out.Consts, y); alreadyConst {
+			// outer's own Rc column, already added.
+			out.Projection = append(out.Projection, y)
+			continue
+		}
+		out.Projection = append(out.Projection, rename[y])
+	}
+	// The result projects renamed attributes; give the view back its outer
+	// attribute names by renaming columns to the outer projection names.
+	// Normal form permits arbitrary attribute names, so rename product
+	// columns that are projected under a different outer name.
+	out2, err := restoreOuterNames(out, outer.Projection)
+	if err != nil {
+		return nil, err
+	}
+	if err := out2.Validate(db); err != nil {
+		return nil, fmt.Errorf("algebra: compose: result: %w", err)
+	}
+	return out2, nil
+}
+
+// ErrEmptyCompose reports that the composition is unsatisfiable: the outer
+// selection contradicts the inner view's constant columns, so the composed
+// view is empty on every database.
+type ErrEmptyCompose struct{ Why string }
+
+func (e ErrEmptyCompose) Error() string { return "algebra: compose: always empty: " + e.Why }
+
+func findConst(cs []ConstAtom, attr string) (string, bool) {
+	for _, c := range cs {
+		if c.Attr == attr {
+			return c.Value, true
+		}
+	}
+	return "", false
+}
+
+// restoreOuterNames renames the composed query's product columns so that
+// projected columns carry the outer view's attribute names (the composed
+// view must expose the same output schema as the outer view).
+func restoreOuterNames(q *SPC, outerProjection []string) (*SPC, error) {
+	if len(q.Projection) != len(outerProjection) {
+		return nil, fmt.Errorf("algebra: compose: projection arity mismatch")
+	}
+	rename := map[string]string{}
+	for i, cur := range q.Projection {
+		want := outerProjection[i]
+		if cur == want {
+			continue
+		}
+		if prev, dup := rename[cur]; dup && prev != want {
+			return nil, fmt.Errorf("algebra: compose: column %q projected under two names", cur)
+		}
+		rename[cur] = want
+	}
+	if len(rename) == 0 {
+		return q, nil
+	}
+	ren := func(a string) string {
+		if n, ok := rename[a]; ok {
+			return n
+		}
+		return a
+	}
+	out := &SPC{Name: q.Name, Consts: append([]ConstAtom(nil), q.Consts...)}
+	for _, atom := range q.Atoms {
+		attrs := make([]string, len(atom.Attrs))
+		for i, a := range atom.Attrs {
+			attrs[i] = ren(a)
+		}
+		out.Atoms = append(out.Atoms, RelAtom{Source: atom.Source, Attrs: attrs})
+	}
+	for _, e := range q.Selection {
+		ne := EqAtom{Left: ren(e.Left), IsConst: e.IsConst, Right: e.Right}
+		if !e.IsConst {
+			ne.Right = ren(e.Right)
+		}
+		out.Selection = append(out.Selection, ne)
+	}
+	for _, y := range q.Projection {
+		out.Projection = append(out.Projection, ren(y))
+	}
+	return out, nil
+}

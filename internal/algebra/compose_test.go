@@ -1,0 +1,227 @@
+package algebra
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/rel"
+)
+
+// composeFixture: base S(A,B,C); inner selects A=1 and projects B,C plus a
+// constant tag; outer joins the inner view with T and projects across.
+func composeFixture() (*rel.DBSchema, *SPC, *SPC) {
+	db := rel.MustDBSchema(
+		rel.InfiniteSchema("S", "A", "B", "C"),
+		rel.InfiniteSchema("T", "D", "E"),
+	)
+	inner := &SPC{
+		Name:       "W",
+		Consts:     []ConstAtom{{Attr: "tag", Value: "t1"}},
+		Atoms:      []RelAtom{{Source: "S", Attrs: []string{"A", "B", "C"}}},
+		Selection:  []EqAtom{{Left: "A", IsConst: true, Right: "1"}},
+		Projection: []string{"tag", "B", "C"},
+	}
+	outer := &SPC{
+		Name: "V",
+		Atoms: []RelAtom{
+			{Source: "W", Attrs: []string{"wtag", "wb", "wc"}},
+			{Source: "T", Attrs: []string{"D", "E"}},
+		},
+		Selection:  []EqAtom{{Left: "wc", Right: "D"}},
+		Projection: []string{"wtag", "wb", "E"},
+	}
+	return db, outer, inner
+}
+
+// evalComposedReference evaluates outer over (base data + materialized
+// inner view) — the semantics Compose must preserve.
+func evalComposedReference(t *testing.T, db *rel.DBSchema, outer, inner *SPC, d *rel.Database) *rel.Instance {
+	t.Helper()
+	innerSchema, err := inner.ViewSchema(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := rel.NewDBSchema(append(db.Relations(), innerSchema)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := rel.NewDatabase(ext)
+	for name, in := range d.Instances {
+		for _, tp := range in.Tuples {
+			if err := d2.Insert(name, tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w, err := inner.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range w.Tuples {
+		if err := d2.Insert(inner.Name, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := outer.Eval(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sameInstance(a, b *rel.Instance) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	as, bs := a.Sorted(), b.Sorted()
+	for i := range as {
+		if !as[i].Equal(bs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestComposeBasic(t *testing.T) {
+	db, outer, inner := composeFixture()
+	comp, err := Compose(db, outer, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Validate(db); err != nil {
+		t.Fatal(err)
+	}
+	// The inner constant tag must surface as an Rc column of the result.
+	if v, ok := findConst(comp.Consts, "wtag"); !ok || v != "t1" {
+		t.Errorf("wtag must be the constant t1, got %q/%v", v, ok)
+	}
+
+	d := rel.NewDatabase(db)
+	d.MustInsert("S", "1", "b1", "c1")
+	d.MustInsert("S", "2", "b2", "c2") // filtered by inner selection
+	d.MustInsert("T", "c1", "e1")
+	d.MustInsert("T", "zz", "e2")
+	got, err := comp.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := evalComposedReference(t, db, outer, inner, d)
+	if !sameInstance(got, want) {
+		t.Errorf("composition disagrees:\ngot  %v\nwant %v", got.Sorted(), want.Sorted())
+	}
+	if got.Len() != 1 {
+		t.Fatalf("want exactly one result tuple, got %d", got.Len())
+	}
+}
+
+func TestComposeConstantContradiction(t *testing.T) {
+	db, outer, inner := composeFixture()
+	outer.Selection = append(outer.Selection, EqAtom{Left: "wtag", IsConst: true, Right: "other"})
+	_, err := Compose(db, outer, inner)
+	var empty ErrEmptyCompose
+	if !errors.As(err, &empty) {
+		t.Fatalf("want ErrEmptyCompose, got %v", err)
+	}
+}
+
+func TestComposeConstantSatisfied(t *testing.T) {
+	db, outer, inner := composeFixture()
+	outer.Selection = append(outer.Selection, EqAtom{Left: "wtag", IsConst: true, Right: "t1"})
+	comp, err := Compose(db, outer, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The satisfied comparison must simply vanish.
+	for _, e := range comp.Selection {
+		if e.IsConst && e.Right == "t1" {
+			t.Errorf("satisfied constant selection should be dropped: %s", e)
+		}
+	}
+}
+
+func TestComposeConstPropagatedToJoin(t *testing.T) {
+	// Joining on a constant column: wtag = D must become D = 't1'.
+	db, outer, inner := composeFixture()
+	outer.Selection = append(outer.Selection, EqAtom{Left: "wtag", Right: "D"})
+	comp, err := Compose(db, outer, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range comp.Selection {
+		if e.IsConst && e.Right == "t1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("join on a constant column must become a constant selection: %v", comp.Selection)
+	}
+}
+
+func TestComposeSelfJoinOfInner(t *testing.T) {
+	// The outer view uses the inner view twice.
+	db := rel.MustDBSchema(rel.InfiniteSchema("S", "A", "B"))
+	inner := &SPC{
+		Name:       "W",
+		Atoms:      []RelAtom{{Source: "S", Attrs: []string{"A", "B"}}},
+		Projection: []string{"A", "B"},
+	}
+	outer := &SPC{
+		Name: "V",
+		Atoms: []RelAtom{
+			{Source: "W", Attrs: []string{"a1", "b1"}},
+			{Source: "W", Attrs: []string{"a2", "b2"}},
+		},
+		Selection:  []EqAtom{{Left: "b1", Right: "a2"}},
+		Projection: []string{"a1", "b2"},
+	}
+	comp, err := Compose(db, outer, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Atoms) != 2 {
+		t.Fatalf("self-join must expand to 2 base atoms, got %d", len(comp.Atoms))
+	}
+	d := rel.NewDatabase(db)
+	d.MustInsert("S", "x", "y")
+	d.MustInsert("S", "y", "z")
+	got, err := comp.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := evalComposedReference(t, db, outer, inner, d)
+	if !sameInstance(got, want) {
+		t.Errorf("self-join composition disagrees:\ngot  %v\nwant %v", got.Sorted(), want.Sorted())
+	}
+}
+
+// TestComposeRandomEquivalence: the composed query and the two-stage
+// evaluation agree on random data.
+func TestComposeRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	db, outer, inner := composeFixture()
+	for trial := 0; trial < 30; trial++ {
+		d := rel.NewDatabase(db)
+		for i := 0; i < 8; i++ {
+			d.MustInsert("S", pick(rng), pick(rng), pick(rng))
+			d.MustInsert("T", pick(rng), pick(rng))
+		}
+		comp, err := Compose(db, outer, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := comp.Eval(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := evalComposedReference(t, db, outer, inner, d)
+		if !sameInstance(got, want) {
+			t.Fatalf("trial %d: composition disagrees:\ngot  %v\nwant %v", trial, got.Sorted(), want.Sorted())
+		}
+	}
+}
+
+func pick(rng *rand.Rand) string {
+	return string(rune('0' + rng.Intn(4)))
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// small returns a configuration that keeps unit-test sweeps fast.
+func small() Config {
+	return Config{
+		Seed:      1,
+		Trials:    1,
+		SigmaSize: 150,
+		VarPcts:   []int{40},
+		Y:         10,
+		F:         4,
+		Ec:        2,
+	}
+}
+
+func TestFig5SweepRuns(t *testing.T) {
+	series, err := Fig5(small(), []int{50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) != 2 {
+		t.Fatalf("unexpected shape: %+v", series)
+	}
+	var buf bytes.Buffer
+	Print(&buf, series)
+	if !strings.Contains(buf.String(), "fig5") {
+		t.Error("printout must name the figure")
+	}
+}
+
+func TestFig6SweepRuns(t *testing.T) {
+	series, err := Fig6(small(), []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger Y must propagate at least as many CFDs on average (the
+	// Fig 6(b) shape) — with a fixed seed this is deterministic.
+	p := series[0].Points
+	if p[1].CoverSize < p[0].CoverSize {
+		t.Errorf("cover size must grow with |Y|: %v", p)
+	}
+}
+
+func TestFig7And8SweepRun(t *testing.T) {
+	if _, err := Fig7(small(), []int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig8(small(), []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlowupAblation(t *testing.T) {
+	points, err := Blowup([]int{2, 3, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		min := 1 << p.N
+		if p.RBRCover < min {
+			t.Errorf("n=%d: RBR cover %d below the 2^n lower bound %d", p.N, p.RBRCover, min)
+		}
+		if p.BaselineSize < min {
+			t.Errorf("n=%d: baseline size %d below the 2^n lower bound %d", p.N, p.BaselineSize, min)
+		}
+	}
+	// Cover sizes must grow exponentially across the family.
+	if points[1].RBRCover <= points[0].RBRCover || points[2].RBRCover <= points[1].RBRCover {
+		t.Errorf("blowup family must grow: %+v", points)
+	}
+	var buf bytes.Buffer
+	PrintBlowup(&buf, points)
+	if !strings.Contains(buf.String(), "blowup") {
+		t.Error("printout must label the ablation")
+	}
+}
+
+func TestBlowupHeuristicTruncates(t *testing.T) {
+	points, err := Blowup([]int{6}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !points[0].Truncated {
+		t.Error("maxCover=8 must trigger the heuristic on n=6")
+	}
+}
+
+func TestTable1Demonstration(t *testing.T) {
+	rows, err := RunTable(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Decided {
+			continue
+		}
+		if !r.PositiveOK {
+			t.Errorf("%s/%s: known-propagated CFD rejected", r.ViewLang, r.Setting)
+		}
+		if !r.NegativeOK {
+			t.Errorf("%s/%s: known-not-propagated CFD accepted", r.ViewLang, r.Setting)
+		}
+		if r.Setting == "general" && r.Instantiations < 2 {
+			t.Errorf("%s/general: expected finite-domain enumeration, got %d instantiations",
+				r.ViewLang, r.Instantiations)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable(&buf, "Table 1", rows)
+	if !strings.Contains(buf.String(), "undecidable") {
+		t.Error("the RA row must be reported")
+	}
+}
+
+func TestTable2Demonstration(t *testing.T) {
+	rows, err := RunTable(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Decided && (!r.PositiveOK || !r.NegativeOK) {
+			t.Errorf("%s/%s: verdicts wrong (pos=%v neg=%v)", r.ViewLang, r.Setting, r.PositiveOK, r.NegativeOK)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/propagation"
+	"cfdprop/internal/rel"
+)
+
+// TableRow is one demonstrated cell of Table 1 or Table 2: a source
+// dependency class, a view language and a setting, with the paper's bound,
+// the observed decision behaviour of our procedure and its cost.
+type TableRow struct {
+	SourceDeps     string // "FDs" or "CFDs"
+	ViewLang       string
+	Setting        string // "infinite" or "general"
+	PaperBound     string // complexity bound from Tables 1-2
+	Decided        bool
+	PositiveOK     bool // the known-propagated instance was accepted
+	NegativeOK     bool // the known-not-propagated instance was rejected
+	Time           time.Duration
+	Instantiations int // finite-domain assignments examined (general)
+	Note           string
+}
+
+// tableCase bundles a view family with a positive and a negative check.
+type tableCase struct {
+	db       *rel.DBSchema
+	view     *algebra.SPCU
+	sigma    []*cfd.CFD
+	positive *cfd.CFD // expected propagated
+	negative *cfd.CFD // expected not propagated
+}
+
+// boolAttrs appends k finite-domain attributes to make the general-setting
+// variant of a schema.
+func boolAttrs(base []rel.Attribute, k int) []rel.Attribute {
+	for i := 0; i < k; i++ {
+		base = append(base, rel.Attribute{Name: fmt.Sprintf("G%d", i+1), Domain: rel.Bool()})
+	}
+	return base
+}
+
+// fragmentCase builds a representative workload for one view language. The
+// source FDs are A→B, B→C on S and E→H on T; CFD variants add patterns.
+// general adds finite-domain columns that the chase must enumerate.
+func fragmentCase(lang string, cfds, general bool) (*tableCase, error) {
+	sAttrs := []rel.Attribute{
+		{Name: "A", Domain: rel.Infinite()},
+		{Name: "B", Domain: rel.Infinite()},
+		{Name: "C", Domain: rel.Infinite()},
+	}
+	tAttrs := []rel.Attribute{
+		{Name: "E", Domain: rel.Infinite()},
+		{Name: "H", Domain: rel.Infinite()},
+	}
+	if general {
+		sAttrs = boolAttrs(sAttrs, 2)
+		tAttrs = boolAttrs(tAttrs, 1)
+	}
+	s, err := rel.NewSchema("S", sAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	tt, err := rel.NewSchema("T", tAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	db, err := rel.NewDBSchema(s, tt)
+	if err != nil {
+		return nil, err
+	}
+
+	sNames := s.AttrNames()
+	tNames := make([]string, tt.Arity())
+	for i, a := range tt.AttrNames() {
+		tNames[i] = "t_" + a
+	}
+	atomS := algebra.RelAtom{Source: "S", Attrs: sNames}
+	atomT := algebra.RelAtom{Source: "T", Attrs: tNames}
+
+	all := append(append([]string{}, sNames...), tNames...)
+	sOnly := sNames
+
+	var q *algebra.SPC
+	switch lang {
+	case "S":
+		q = &algebra.SPC{Name: "V", Atoms: []algebra.RelAtom{atomS},
+			Selection:  []algebra.EqAtom{{Left: "A", IsConst: true, Right: "5"}},
+			Projection: sOnly}
+	case "P":
+		q = &algebra.SPC{Name: "V", Atoms: []algebra.RelAtom{atomS},
+			Projection: []string{"A", "C"}}
+	case "C":
+		q = &algebra.SPC{Name: "V", Atoms: []algebra.RelAtom{atomS, atomT}, Projection: all}
+	case "SP":
+		q = &algebra.SPC{Name: "V", Atoms: []algebra.RelAtom{atomS},
+			Selection:  []algebra.EqAtom{{Left: "A", IsConst: true, Right: "5"}},
+			Projection: []string{"A", "C"}}
+	case "SC":
+		q = &algebra.SPC{Name: "V", Atoms: []algebra.RelAtom{atomS, atomT},
+			Selection:  []algebra.EqAtom{{Left: "C", Right: "t_E"}},
+			Projection: all}
+	case "PC":
+		q = &algebra.SPC{Name: "V", Atoms: []algebra.RelAtom{atomS, atomT},
+			Projection: []string{"A", "C", "t_H"}}
+	case "SPC":
+		q = &algebra.SPC{Name: "V", Atoms: []algebra.RelAtom{atomS, atomT},
+			Selection:  []algebra.EqAtom{{Left: "C", Right: "t_E"}},
+			Projection: []string{"A", "C", "t_H"}}
+	case "SPCU":
+		q1 := &algebra.SPC{Name: "V", Atoms: []algebra.RelAtom{atomS},
+			Selection:  []algebra.EqAtom{{Left: "A", IsConst: true, Right: "5"}},
+			Projection: []string{"A", "C"}}
+		q2 := &algebra.SPC{Name: "V", Atoms: []algebra.RelAtom{atomS},
+			Selection:  []algebra.EqAtom{{Left: "A", IsConst: true, Right: "6"}},
+			Projection: []string{"A", "C"}}
+		u, err := algebra.NewSPCU("V", q1, q2)
+		if err != nil {
+			return nil, err
+		}
+		return finishCase(db, u, cfds, lang)
+	default:
+		return nil, fmt.Errorf("bench: unknown fragment %q", lang)
+	}
+	return finishCase(db, algebra.Single(q), cfds, lang)
+}
+
+func finishCase(db *rel.DBSchema, v *algebra.SPCU, cfds bool, lang string) (*tableCase, error) {
+	tc := &tableCase{db: db, view: v}
+	if cfds {
+		tc.sigma = []*cfd.CFD{
+			cfd.MustParse(`S([A=5] -> [B=9])`),
+			cfd.MustParse(`S([B=9] -> [C])`),
+			cfd.MustParse(`T(E -> H)`),
+		}
+	} else {
+		tc.sigma = []*cfd.CFD{
+			cfd.MustParse(`S(A -> B)`),
+			cfd.MustParse(`S(B -> C)`),
+			cfd.MustParse(`T(E -> H)`),
+		}
+	}
+	// Positive: A determines C transitively whenever both are visible
+	// (restricted to the A=5 guard, which also holds under the selection
+	// fragments). Negative: a concrete constant for C is never forced —
+	// the selections/CFDs can equalize C across tuples, but its value
+	// remains free, so ([] -> [C=77]) fails in every fragment.
+	tc.positive = cfd.MustParse(`V([A=5] -> [C])`)
+	tc.negative = cfd.MustParse(`V([] -> [C=77])`)
+	return tc, nil
+}
+
+// RunTable demonstrates Table 1 (sourceCFDs selects the CFD rows) or, with
+// sourceCFDs=false, the FD rows that also populate Table 2.
+func RunTable(sourceCFDs bool) ([]TableRow, error) {
+	type rowSpec struct {
+		lang, setting, bound string
+	}
+	var specs []rowSpec
+	if sourceCFDs {
+		specs = []rowSpec{
+			{"S", "infinite", "PTIME"}, {"S", "general", "coNP-complete"},
+			{"P", "infinite", "PTIME"}, {"P", "general", "coNP-complete"},
+			{"C", "infinite", "PTIME"}, {"C", "general", "coNP-complete"},
+			{"SPC", "infinite", "PTIME"}, {"SPC", "general", "coNP-complete"},
+			{"SPCU", "infinite", "PTIME"}, {"SPCU", "general", "coNP-complete"},
+		}
+	} else {
+		specs = []rowSpec{
+			{"SP", "infinite", "PTIME"}, {"SP", "general", "PTIME"},
+			{"SC", "infinite", "PTIME"}, {"SC", "general", "coNP-complete"},
+			{"PC", "infinite", "PTIME"}, {"PC", "general", "PTIME"},
+			{"SPC", "infinite", "PTIME"}, {"SPC", "general", "coNP-complete"},
+			{"SPCU", "infinite", "PTIME"}, {"SPCU", "general", "coNP-complete"},
+		}
+	}
+	deps := "FDs"
+	if sourceCFDs {
+		deps = "CFDs"
+	}
+	var rows []TableRow
+	for _, sp := range specs {
+		general := sp.setting == "general"
+		tc, err := fragmentCase(sp.lang, sourceCFDs, general)
+		if err != nil {
+			return nil, err
+		}
+		opts := propagation.Options{General: general}
+		row := TableRow{SourceDeps: deps, ViewLang: sp.lang, Setting: sp.setting, PaperBound: sp.bound}
+		start := time.Now()
+		rPos, err := propagation.Check(tc.db, tc.view, tc.sigma, tc.positive, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s positive: %w", sp.lang, sp.setting, err)
+		}
+		rNeg, err := propagation.Check(tc.db, tc.view, tc.sigma, tc.negative, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s negative: %w", sp.lang, sp.setting, err)
+		}
+		row.Time = time.Since(start)
+		row.Decided = true
+		row.PositiveOK = rPos.Propagated
+		row.NegativeOK = !rNeg.Propagated
+		row.Instantiations = rPos.Instantiations + rNeg.Instantiations
+		rows = append(rows, row)
+	}
+	// The RA rows are undecidable (Thm 3.1/3.5): no procedure to run.
+	rows = append(rows, TableRow{
+		SourceDeps: deps, ViewLang: "RA", Setting: "both",
+		PaperBound: "undecidable",
+		Note:       "set difference unsupported by construction (Thm 3.1/3.5)",
+	})
+	return rows, nil
+}
+
+// PrintTable renders the demonstration rows.
+func PrintTable(w io.Writer, title string, rows []TableRow) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-6s %-6s %-9s %-15s %-8s %-8s %-9s %-7s %s\n",
+		"deps", "view", "setting", "paper bound", "pos ok", "neg ok", "time", "insts", "note")
+	for _, r := range rows {
+		if !r.Decided {
+			fmt.Fprintf(w, "%-6s %-6s %-9s %-15s %-8s %-8s %-9s %-7s %s\n",
+				r.SourceDeps, r.ViewLang, r.Setting, r.PaperBound, "-", "-", "-", "-", r.Note)
+			continue
+		}
+		fmt.Fprintf(w, "%-6s %-6s %-9s %-15s %-8v %-8v %-9s %-7d %s\n",
+			r.SourceDeps, r.ViewLang, r.Setting, r.PaperBound, r.PositiveOK, r.NegativeOK,
+			r.Time.Round(time.Microsecond), r.Instantiations, r.Note)
+	}
+	fmt.Fprintln(w)
+}

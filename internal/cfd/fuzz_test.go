@@ -1,0 +1,60 @@
+package cfd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds random byte soup and random near-grammatical
+// strings to Parse; it must return an error or a CFD, never panic, and
+// successful parses must re-render to reparseable text.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %q: %v", raw, r)
+			}
+		}()
+		c, err := Parse(string(raw))
+		if err != nil {
+			return true
+		}
+		back, err := Parse(c.String())
+		if err != nil {
+			t.Logf("re-render of %q -> %q does not reparse: %v", raw, c.String(), err)
+			return false
+		}
+		return back.Key() == c.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNearGrammar builds strings from grammar fragments to reach the
+// deeper parser paths.
+func TestParseNearGrammar(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	pieces := []string{"R", "(", ")", "[", "]", "->", "==", "=", ",", "A", "B", `"x,y"`, `"`, "_", " ", "1"}
+	for i := 0; i < 5000; i++ {
+		var b strings.Builder
+		n := 1 + rng.Intn(12)
+		for j := 0; j < n; j++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		s := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on %q: %v", s, r)
+				}
+			}()
+			c, err := Parse(s)
+			if err == nil && c == nil {
+				t.Fatalf("Parse(%q) returned nil, nil", s)
+			}
+		}()
+	}
+}

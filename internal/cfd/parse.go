@@ -1,0 +1,161 @@
+package cfd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a CFD from the paper-style text notation:
+//
+//	R([CC=44, zip] -> [street])        standard CFD with patterns
+//	R([AC] -> [city=ldn])              constant RHS pattern
+//	R(zip -> street)                   brackets optional; FD when no '='
+//	R(A == B)                          equality CFD (x ‖ x)
+//
+// Attribute entries are comma-separated; `attr=const` attaches a constant
+// pattern, bare `attr` means the wildcard '_'. Whitespace is insignificant
+// around punctuation. Constants may be double-quoted to include commas,
+// brackets or spaces.
+func Parse(s string) (*CFD, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("cfd: parse %q: want R(...)", s)
+	}
+	relation := strings.TrimSpace(s[:open])
+	body := s[open+1 : len(s)-1]
+
+	if a, b, ok := splitTop(body, "=="); ok {
+		a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+		if a == "" || b == "" {
+			return nil, fmt.Errorf("cfd: parse %q: empty side of ==", s)
+		}
+		return NewEquality(relation, a, b), nil
+	}
+
+	lhsStr, rhsStr, ok := splitTop(body, "->")
+	if !ok {
+		return nil, fmt.Errorf("cfd: parse %q: missing ->", s)
+	}
+	lhs, err := parseItems(lhsStr)
+	if err != nil {
+		return nil, fmt.Errorf("cfd: parse %q: lhs: %v", s, err)
+	}
+	rhs, err := parseItems(rhsStr)
+	if err != nil {
+		return nil, fmt.Errorf("cfd: parse %q: rhs: %v", s, err)
+	}
+	return New(relation, lhs, rhs)
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s string) *CFD {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// splitTop splits s at the first occurrence of sep that is outside quotes,
+// returning ok=false when sep does not occur.
+func splitTop(s, sep string) (string, string, bool) {
+	inQuote := false
+	for i := 0; i+len(sep) <= len(s); i++ {
+		if s[i] == '"' {
+			inQuote = !inQuote
+			continue
+		}
+		if !inQuote && s[i:i+len(sep)] == sep {
+			return s[:i], s[i+len(sep):], true
+		}
+	}
+	return "", "", false
+}
+
+func parseItems(s string) ([]Item, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	fields, err := splitQuoted(s, ',')
+	if err != nil {
+		return nil, err
+	}
+	var items []Item
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		attr, val, hasEq, err := splitAssign(f)
+		if err != nil {
+			return nil, err
+		}
+		if attr == "" {
+			return nil, fmt.Errorf("entry %q has empty attribute", f)
+		}
+		it := Item{Attr: attr, Pat: Any()}
+		if hasEq {
+			if val == "_" {
+				// explicit wildcard
+			} else {
+				it.Pat = Eq(val)
+			}
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+// splitAssign splits "attr=const" (const possibly quoted) into its parts.
+func splitAssign(f string) (attr, val string, hasEq bool, err error) {
+	inQuote := false
+	for i := 0; i < len(f); i++ {
+		switch f[i] {
+		case '"':
+			inQuote = !inQuote
+		case '=':
+			if !inQuote {
+				attr = strings.TrimSpace(f[:i])
+				val = strings.TrimSpace(f[i+1:])
+				if v, ok := unquote(val); ok {
+					val = v
+				}
+				return attr, val, true, nil
+			}
+		}
+	}
+	if inQuote {
+		return "", "", false, fmt.Errorf("entry %q has unbalanced quote", f)
+	}
+	return strings.TrimSpace(f), "", false, nil
+}
+
+// splitQuoted splits s on sep, respecting double quotes.
+func splitQuoted(s string, sep byte) ([]string, error) {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case sep:
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unbalanced quote in %q", s)
+	}
+	out = append(out, s[start:])
+	return out, nil
+}
+
+func unquote(s string) (string, bool) {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1], true
+	}
+	return s, false
+}

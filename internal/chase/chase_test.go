@@ -1,0 +1,284 @@
+package chase
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+	"cfdprop/internal/sym"
+)
+
+func newInst(t *testing.T, attrs ...string) (*Inst, *sym.State) {
+	t.Helper()
+	st := sym.NewState()
+	ci := NewInst(st)
+	if err := ci.DeclareRelation("R", attrs); err != nil {
+		t.Fatal(err)
+	}
+	return ci, st
+}
+
+func freshRow(ci *Inst, st *sym.State, n int) *Row {
+	cols := make([]sym.Term, n)
+	for i := range cols {
+		cols[i] = st.NewVar(rel.Infinite())
+	}
+	r, err := ci.AddRow("R", cols)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestFDChaseEquatesRHS(t *testing.T) {
+	ci, st := newInst(t, "A", "B")
+	r1 := freshRow(ci, st, 2)
+	r2 := freshRow(ci, st, 2)
+	if err := st.Equate(r1.Cols[0], r2.Cols[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ci.Run([]*cfd.CFD{cfd.MustParse(`R(A -> B)`)}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.SameTerm(r1.Cols[1], r2.Cols[1]) {
+		t.Error("chase must equate B values of A-agreeing rows")
+	}
+}
+
+func TestFDChaseDoesNotFireWithoutAgreement(t *testing.T) {
+	ci, st := newInst(t, "A", "B")
+	r1 := freshRow(ci, st, 2)
+	r2 := freshRow(ci, st, 2)
+	if err := ci.Run([]*cfd.CFD{cfd.MustParse(`R(A -> B)`)}); err != nil {
+		t.Fatal(err)
+	}
+	if st.SameTerm(r1.Cols[1], r2.Cols[1]) {
+		t.Error("chase must not fire when the premise is not definite")
+	}
+}
+
+func TestConstantRHSBindsSingleTuple(t *testing.T) {
+	ci, st := newInst(t, "A", "B")
+	r := freshRow(ci, st, 2)
+	if err := st.Bind(r.Cols[0], "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ci.Run([]*cfd.CFD{cfd.MustParse(`R([A=a] -> [B=b])`)}); err != nil {
+		t.Fatal(err)
+	}
+	rb := st.Resolve(r.Cols[1])
+	if rb.IsVar || rb.Const != "b" {
+		t.Errorf("B must be bound to b, got %v", rb)
+	}
+}
+
+func TestConstantPatternBlocksUnknown(t *testing.T) {
+	// tp[A] = 'a' must not fire when A is an unbound variable.
+	ci, st := newInst(t, "A", "B")
+	r := freshRow(ci, st, 2)
+	if err := ci.Run([]*cfd.CFD{cfd.MustParse(`R([A=a] -> [B=b])`)}); err != nil {
+		t.Fatal(err)
+	}
+	if rb := st.Resolve(r.Cols[1]); !rb.IsVar {
+		t.Errorf("chase must not bind B when A is unknown, got %v", rb)
+	}
+}
+
+func TestChaseUndefined(t *testing.T) {
+	ci, st := newInst(t, "A", "B")
+	r := freshRow(ci, st, 2)
+	if err := st.Bind(r.Cols[0], "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Bind(r.Cols[1], "x"); err != nil {
+		t.Fatal(err)
+	}
+	err := ci.Run([]*cfd.CFD{cfd.MustParse(`R([A=a] -> [B=b])`)})
+	var undef ErrUndefined
+	if !errors.As(err, &undef) {
+		t.Fatalf("want ErrUndefined, got %v", err)
+	}
+}
+
+func TestEqualityCFDChase(t *testing.T) {
+	ci, st := newInst(t, "A", "B")
+	r := freshRow(ci, st, 2)
+	if err := ci.Run([]*cfd.CFD{cfd.NewEquality("R", "A", "B")}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.SameTerm(r.Cols[0], r.Cols[1]) {
+		t.Error("equality CFD must equate the two columns per row")
+	}
+}
+
+func TestTransitiveChain(t *testing.T) {
+	// A -> B, B -> C must propagate transitively through the fixpoint.
+	ci, st := newInst(t, "A", "B", "C")
+	r1 := freshRow(ci, st, 3)
+	r2 := freshRow(ci, st, 3)
+	if err := st.Equate(r1.Cols[0], r2.Cols[0]); err != nil {
+		t.Fatal(err)
+	}
+	sigma := []*cfd.CFD{cfd.MustParse(`R(A -> B)`), cfd.MustParse(`R(B -> C)`)}
+	if err := ci.Run(sigma); err != nil {
+		t.Fatal(err)
+	}
+	if !st.SameTerm(r1.Cols[2], r2.Cols[2]) {
+		t.Error("transitive consequence must be chased")
+	}
+}
+
+func TestChaseIgnoresOtherRelations(t *testing.T) {
+	st := sym.NewState()
+	ci := NewInst(st)
+	if err := ci.DeclareRelation("R", []string{"A", "B"}); err != nil {
+		t.Fatal(err)
+	}
+	r := freshRowNamed(ci, st, "R", 2)
+	// A CFD on S has no rows: no-op, no error.
+	if err := ci.Run([]*cfd.CFD{cfd.MustParse(`S(A -> B)`)}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Resolve(r.Cols[1]).IsVar == false {
+		t.Error("unrelated CFD must not affect R")
+	}
+}
+
+func freshRowNamed(ci *Inst, st *sym.State, relName string, n int) *Row {
+	cols := make([]sym.Term, n)
+	for i := range cols {
+		cols[i] = st.NewVar(rel.Infinite())
+	}
+	r, err := ci.AddRow(relName, cols)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TestChaseConfluenceProperty: the terminal partition does not depend on
+// the order dependencies are listed (Church-Rosser for this chase).
+func TestChaseConfluenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sigmaSrc := []string{
+		`R(A -> B)`,
+		`R(B -> C)`,
+		`R([A=a] -> [C=c])`,
+		`R([C] -> [D])`,
+		`R([B, C] -> [A])`,
+	}
+	for trial := 0; trial < 30; trial++ {
+		build := func(order []int) (*Inst, *sym.State, []*Row, bool) {
+			st := sym.NewState()
+			ci := NewInst(st)
+			if err := ci.DeclareRelation("R", []string{"A", "B", "C", "D"}); err != nil {
+				t.Fatal(err)
+			}
+			rows := make([]*Row, 3)
+			for i := range rows {
+				rows[i] = freshRowNamed(ci, st, "R", 4)
+			}
+			// Deterministic initial constraints per trial.
+			seed := rand.New(rand.NewSource(int64(trial)))
+			for k := 0; k < 4; k++ {
+				i, j := seed.Intn(3), seed.Intn(3)
+				c1, c2 := seed.Intn(4), seed.Intn(4)
+				if st.Equate(rows[i].Cols[c1], rows[j].Cols[c2]) != nil {
+					return nil, nil, nil, false
+				}
+			}
+			if st.Bind(rows[0].Cols[0], "a") != nil {
+				return nil, nil, nil, false
+			}
+			sigma := make([]*cfd.CFD, len(order))
+			for i, o := range order {
+				sigma[i] = cfd.MustParse(sigmaSrc[o])
+			}
+			if err := ci.Run(sigma); err != nil {
+				return nil, nil, nil, false
+			}
+			return ci, st, rows, true
+		}
+		id := []int{0, 1, 2, 3, 4}
+		_, st1, rows1, ok1 := build(id)
+		_, st2, rows2, ok2 := build(rng.Perm(5))
+		if ok1 != ok2 {
+			t.Fatalf("trial %d: termination disagreement", trial)
+		}
+		if !ok1 {
+			continue
+		}
+		for i := 0; i < 3; i++ {
+			for c := 0; c < 4; c++ {
+				for j := 0; j < 3; j++ {
+					for d := 0; d < 4; d++ {
+						s1 := st1.SameTerm(rows1[i].Cols[c], rows1[j].Cols[d])
+						s2 := st2.SameTerm(rows2[i].Cols[c], rows2[j].Cols[d])
+						if s1 != s2 {
+							t.Fatalf("trial %d: partition differs at r%d[%d] vs r%d[%d]", trial, i, c, j, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConcrete(t *testing.T) {
+	db := rel.MustDBSchema(rel.InfiniteSchema("R", "A", "B"))
+	st := sym.NewState()
+	ci := NewInst(st)
+	if err := ci.DeclareRelation("R", []string{"A", "B"}); err != nil {
+		t.Fatal(err)
+	}
+	r := freshRowNamed(ci, st, "R", 2)
+	if err := st.Bind(r.Cols[0], "k"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ci.Concrete(db, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := out.Instance("R")
+	if in.Len() != 1 || in.Tuples[0][0] != "k" {
+		t.Fatalf("bad concrete instance: %v", in.Tuples)
+	}
+	if in.Tuples[0][1] == "k" {
+		t.Error("unbound variable must become a fresh constant")
+	}
+}
+
+func TestConcreteRefusesUnboundFinite(t *testing.T) {
+	db := rel.MustDBSchema(rel.MustSchema("R", rel.Attribute{Name: "A", Domain: rel.Bool()}))
+	st := sym.NewState()
+	ci := NewInst(st)
+	if err := ci.DeclareRelation("R", []string{"A"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ci.AddRow("R", []sym.Term{st.NewVar(rel.Bool())}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ci.Concrete(db, false); err == nil {
+		t.Error("unbound finite-domain class must be refused")
+	}
+	if _, err := ci.Concrete(db, true); err != nil {
+		t.Errorf("allowFinitePick must permit instantiation: %v", err)
+	}
+}
+
+func TestMultiRHSCFDChase(t *testing.T) {
+	ci, st := newInst(t, "A", "B", "C")
+	r1 := freshRow(ci, st, 3)
+	r2 := freshRow(ci, st, 3)
+	if err := st.Equate(r1.Cols[0], r2.Cols[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ci.Run([]*cfd.CFD{cfd.MustParse(`R([A] -> [B, C])`)}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.SameTerm(r1.Cols[1], r2.Cols[1]) || !st.SameTerm(r1.Cols[2], r2.Cols[2]) {
+		t.Error("multi-RHS CFD must equate both columns")
+	}
+}

@@ -1,0 +1,287 @@
+// Package cind implements conditional inclusion dependencies (CINDs),
+// the companion notion to CFDs introduced in "Extending Dependencies with
+// Conditions" (Bravo, Fan, Ma; VLDB 2007) and named by Fan et al.
+// (VLDB 2008, §7) as the natural next target for propagation analysis.
+//
+// A CIND ψ = (R1[X; Xp] ⊆ R2[Y; Yp], tp) states: for every tuple t1 of R1
+// with t1[Xp] matching the pattern tp[Xp], there exists a tuple t2 of R2
+// with t2[Y] = t1[X] and t2[Yp] = tp[Yp]. X and Y are same-length
+// attribute lists; Xp, Yp carry the condition patterns on each side.
+//
+// The package provides satisfaction checking, violation detection and
+// repair by insertion, supporting the CFD+CIND data-cleaning workflow.
+// Propagation analysis of CINDs through views is future work in the paper
+// and is deliberately out of scope here.
+package cind
+
+import (
+	"fmt"
+	"strings"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+// Side describes one side of the inclusion: the relation, the correlated
+// attribute list and the pattern items on the condition attributes.
+type Side struct {
+	Relation string
+	Attrs    []string   // X (resp. Y): the correlated attributes, in order
+	Pattern  []cfd.Item // Xp (resp. Yp) with constant patterns
+}
+
+// CIND is a conditional inclusion dependency.
+type CIND struct {
+	LHS Side // R1[X; Xp]
+	RHS Side // R2[Y; Yp]
+}
+
+// New validates the shape: equal-length correlated lists, non-empty
+// relations, constant-only RHS pattern entries, disjointness of attribute
+// roles per side.
+func New(lhs, rhs Side) (*CIND, error) {
+	if lhs.Relation == "" || rhs.Relation == "" {
+		return nil, fmt.Errorf("cind: empty relation name")
+	}
+	if len(lhs.Attrs) != len(rhs.Attrs) {
+		return nil, fmt.Errorf("cind: correlated lists have lengths %d and %d", len(lhs.Attrs), len(rhs.Attrs))
+	}
+	if len(lhs.Attrs) == 0 {
+		return nil, fmt.Errorf("cind: empty correlated lists")
+	}
+	for _, side := range []Side{lhs, rhs} {
+		seen := map[string]bool{}
+		for _, a := range side.Attrs {
+			if a == "" || seen[a] {
+				return nil, fmt.Errorf("cind: bad correlated attribute %q", a)
+			}
+			seen[a] = true
+		}
+		for _, it := range side.Pattern {
+			if it.Attr == "" || seen[it.Attr] {
+				return nil, fmt.Errorf("cind: condition attribute %q empty or duplicated", it.Attr)
+			}
+			seen[it.Attr] = true
+		}
+	}
+	for _, it := range rhs.Pattern {
+		if it.Pat.Wildcard {
+			return nil, fmt.Errorf("cind: RHS pattern on %q must be a constant", it.Attr)
+		}
+	}
+	return &CIND{LHS: lhs, RHS: rhs}, nil
+}
+
+// Must is New that panics on error.
+func Must(lhs, rhs Side) *CIND {
+	c, err := New(lhs, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func sideString(s Side) string {
+	parts := append([]string{}, s.Attrs...)
+	for _, it := range s.Pattern {
+		parts = append(parts, fmt.Sprintf("%s=%s", it.Attr, it.Pat))
+	}
+	return fmt.Sprintf("%s[%s]", s.Relation, strings.Join(parts, ", "))
+}
+
+func (c *CIND) String() string {
+	return sideString(c.LHS) + " ⊆ " + sideString(c.RHS)
+}
+
+// Validate checks both sides against a database schema.
+func (c *CIND) Validate(db *rel.DBSchema) error {
+	for _, side := range []Side{c.LHS, c.RHS} {
+		s := db.Relation(side.Relation)
+		if s == nil {
+			return fmt.Errorf("cind: %s: unknown relation %q", c, side.Relation)
+		}
+		for _, a := range side.Attrs {
+			if !s.Has(a) {
+				return fmt.Errorf("cind: %s: unknown attribute %q", c, a)
+			}
+		}
+		for _, it := range side.Pattern {
+			d, ok := s.Domain(it.Attr)
+			if !ok {
+				return fmt.Errorf("cind: %s: unknown attribute %q", c, it.Attr)
+			}
+			if !it.Pat.Wildcard && !d.Contains(it.Pat.Const) {
+				return fmt.Errorf("cind: %s: constant %q outside domain of %s", c, it.Pat.Const, it.Attr)
+			}
+		}
+	}
+	return nil
+}
+
+// Violation is an LHS tuple with no matching RHS tuple.
+type Violation struct {
+	CIND  *CIND
+	Tuple int // index into the LHS relation instance
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("violation of %s at tuple %d", v.CIND, v.Tuple)
+}
+
+// Violations finds every violating LHS tuple in the database.
+func Violations(db *rel.Database, c *CIND) ([]Violation, error) {
+	if err := c.Validate(db.Schema); err != nil {
+		return nil, err
+	}
+	lhs := db.Instance(c.LHS.Relation)
+	rhs := db.Instance(c.RHS.Relation)
+	if lhs == nil || rhs == nil {
+		return nil, fmt.Errorf("cind: %s: missing instance", c)
+	}
+	lIdx, lCond, err := sideIndexes(lhs.Schema, c.LHS)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, rCond, err := sideIndexes(rhs.Schema, c.RHS)
+	if err != nil {
+		return nil, err
+	}
+
+	// Index RHS tuples that match tp[Yp] by their Y projection.
+	available := map[string]bool{}
+	for _, t := range rhs.Tuples {
+		if !matches(t, rCond, c.RHS.Pattern) {
+			continue
+		}
+		available[projKey(t, rIdx)] = true
+	}
+
+	var out []Violation
+	for ti, t := range lhs.Tuples {
+		if !matches(t, lCond, c.LHS.Pattern) {
+			continue
+		}
+		if !available[projKey(t, lIdx)] {
+			out = append(out, Violation{CIND: c, Tuple: ti})
+		}
+	}
+	return out, nil
+}
+
+// Satisfies reports whether the database satisfies the CIND.
+func Satisfies(db *rel.Database, c *CIND) (bool, error) {
+	vs, err := Violations(db, c)
+	if err != nil {
+		return false, err
+	}
+	return len(vs) == 0, nil
+}
+
+// SatisfiesAll checks a set of CINDs.
+func SatisfiesAll(db *rel.Database, cs []*CIND) (bool, *Violation, error) {
+	for _, c := range cs {
+		vs, err := Violations(db, c)
+		if err != nil {
+			return false, nil, err
+		}
+		if len(vs) > 0 {
+			return false, &vs[0], nil
+		}
+	}
+	return true, nil, nil
+}
+
+// RepairByInsertion inserts, for every violating LHS tuple, a fresh RHS
+// tuple carrying the correlated values and the RHS pattern constants;
+// unconstrained RHS columns receive the placeholder value. It returns the
+// number of insertions. Inserting (rather than deleting) is the standard
+// CIND repair and always terminates in one pass per CIND, but note that
+// inserted tuples may violate CFDs on the RHS relation — callers combining
+// both should re-run CFD repair afterwards.
+func RepairByInsertion(db *rel.Database, cs []*CIND, placeholder string) (int, error) {
+	if placeholder == "" {
+		placeholder = "?"
+	}
+	inserted := 0
+	for _, c := range cs {
+		vs, err := Violations(db, c)
+		if err != nil {
+			return inserted, err
+		}
+		if len(vs) == 0 {
+			continue
+		}
+		lhs := db.Instance(c.LHS.Relation)
+		rhs := db.Instance(c.RHS.Relation)
+		lIdx, _, err := sideIndexes(lhs.Schema, c.LHS)
+		if err != nil {
+			return inserted, err
+		}
+		for _, v := range vs {
+			src := lhs.Tuples[v.Tuple]
+			t := make(rel.Tuple, rhs.Schema.Arity())
+			for i := range t {
+				t[i] = placeholder
+			}
+			for i, a := range c.RHS.Attrs {
+				j, _ := rhs.Schema.Index(a)
+				t[j] = src[lIdx[i]]
+			}
+			for _, it := range c.RHS.Pattern {
+				j, _ := rhs.Schema.Index(it.Attr)
+				t[j] = it.Pat.Const
+			}
+			// Respect finite domains for untouched columns.
+			for i := range t {
+				if t[i] == placeholder {
+					if d := rhs.Schema.Attrs[i].Domain; d.Finite {
+						t[i] = d.Values[0]
+					}
+				}
+			}
+			if err := rhs.Insert(t); err != nil {
+				return inserted, err
+			}
+			inserted++
+		}
+		rhs.Dedup()
+	}
+	return inserted, nil
+}
+
+func sideIndexes(s *rel.Schema, side Side) (corr []int, cond []int, err error) {
+	corr = make([]int, len(side.Attrs))
+	for i, a := range side.Attrs {
+		j, ok := s.Index(a)
+		if !ok {
+			return nil, nil, fmt.Errorf("cind: relation %s lacks %q", s.Name, a)
+		}
+		corr[i] = j
+	}
+	cond = make([]int, len(side.Pattern))
+	for i, it := range side.Pattern {
+		j, ok := s.Index(it.Attr)
+		if !ok {
+			return nil, nil, fmt.Errorf("cind: relation %s lacks %q", s.Name, it.Attr)
+		}
+		cond[i] = j
+	}
+	return corr, cond, nil
+}
+
+func matches(t rel.Tuple, cond []int, pattern []cfd.Item) bool {
+	for i, it := range pattern {
+		if !it.Pat.Matches(t[cond[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func projKey(t rel.Tuple, idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		fmt.Fprintf(&b, "%d:%s;", len(t[i]), t[i])
+	}
+	return b.String()
+}

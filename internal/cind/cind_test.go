@@ -1,0 +1,178 @@
+package cind
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+// fixture: orders reference customers; only UK orders must appear in the
+// uk_audit relation.
+func fixture() (*rel.DBSchema, *rel.Database) {
+	db := rel.MustDBSchema(
+		rel.InfiniteSchema("orders", "oid", "cust", "country"),
+		rel.InfiniteSchema("customers", "cid", "name"),
+		rel.InfiniteSchema("uk_audit", "oid", "status"),
+	)
+	return db, rel.NewDatabase(db)
+}
+
+// ordersToCustomers: orders[cust] ⊆ customers[cid] (no conditions): a
+// plain IND as a degenerate CIND.
+func ordersToCustomers() *CIND {
+	return Must(
+		Side{Relation: "orders", Attrs: []string{"cust"}},
+		Side{Relation: "customers", Attrs: []string{"cid"}},
+	)
+}
+
+// ukOrdersAudited: orders[oid; country=UK] ⊆ uk_audit[oid; status=open].
+func ukOrdersAudited() *CIND {
+	return Must(
+		Side{Relation: "orders", Attrs: []string{"oid"},
+			Pattern: []cfd.Item{{Attr: "country", Pat: cfd.Eq("UK")}}},
+		Side{Relation: "uk_audit", Attrs: []string{"oid"},
+			Pattern: []cfd.Item{{Attr: "status", Pat: cfd.Eq("open")}}},
+	)
+}
+
+func TestPlainINDSatisfaction(t *testing.T) {
+	_, d := fixture()
+	d.MustInsert("customers", "c1", "Ann")
+	d.MustInsert("orders", "o1", "c1", "UK")
+	ok, err := Satisfies(d, ordersToCustomers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("referenced customer exists; must satisfy")
+	}
+	d.MustInsert("orders", "o2", "cX", "US")
+	vs, err := Violations(d, ordersToCustomers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Tuple != 1 {
+		t.Errorf("want one violation at tuple 1, got %v", vs)
+	}
+}
+
+func TestConditionalInclusion(t *testing.T) {
+	_, d := fixture()
+	d.MustInsert("orders", "o1", "c1", "UK")
+	d.MustInsert("orders", "o2", "c2", "US") // not conditioned: irrelevant
+	c := ukOrdersAudited()
+	ok, err := Satisfies(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("UK order o1 is unaudited; must violate")
+	}
+	// An audit row with the wrong status does not help.
+	d.MustInsert("uk_audit", "o1", "closed")
+	ok, err = Satisfies(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("status must match the RHS pattern")
+	}
+	d.MustInsert("uk_audit", "o1", "open")
+	ok, err = Satisfies(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("o1 is now properly audited")
+	}
+}
+
+func TestRepairByInsertion(t *testing.T) {
+	_, d := fixture()
+	d.MustInsert("orders", "o1", "c1", "UK")
+	d.MustInsert("orders", "o2", "c2", "UK")
+	d.MustInsert("orders", "o3", "c3", "US")
+	cs := []*CIND{ukOrdersAudited(), ordersToCustomers()}
+	n, err := RepairByInsertion(d, cs, "?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 audit rows + 3 customers.
+	if n != 5 {
+		t.Errorf("want 5 insertions, got %d", n)
+	}
+	ok, v, err := SatisfiesAll(d, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("database still violates after repair: %v", v)
+	}
+	// Inserted audit rows carry the pattern constant.
+	audit := d.Instance("uk_audit")
+	for _, tp := range audit.Tuples {
+		if tp[1] != "open" {
+			t.Errorf("inserted audit row has status %q, want open", tp[1])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	db, _ := fixture()
+	bad := []*CIND{
+		Must(Side{Relation: "orders", Attrs: []string{"nope"}},
+			Side{Relation: "customers", Attrs: []string{"cid"}}),
+		Must(Side{Relation: "orders", Attrs: []string{"cust"}},
+			Side{Relation: "ghost", Attrs: []string{"cid"}}),
+	}
+	for i, c := range bad {
+		if err := c.Validate(db); err == nil {
+			t.Errorf("case %d must fail validation", i)
+		}
+	}
+	if _, err := New(Side{Relation: "orders", Attrs: []string{"a", "b"}},
+		Side{Relation: "customers", Attrs: []string{"cid"}}); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+	if _, err := New(Side{Relation: "orders", Attrs: []string{"oid"}},
+		Side{Relation: "uk_audit", Attrs: []string{"oid"},
+			Pattern: []cfd.Item{{Attr: "status", Pat: cfd.Any()}}}); err == nil {
+		t.Error("wildcard RHS pattern must be rejected")
+	}
+}
+
+// TestRepairRandomConverges: insertion repair always yields a satisfying
+// database on random data.
+func TestRepairRandomConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		_, d := fixture()
+		for i := 0; i < 12; i++ {
+			d.MustInsert("orders",
+				pick(rng, "o1", "o2", "o3", "o4"),
+				pick(rng, "c1", "c2", "c3"),
+				pick(rng, "UK", "US", "NL"))
+		}
+		for i := 0; i < 3; i++ {
+			d.MustInsert("uk_audit", pick(rng, "o1", "o9"), pick(rng, "open", "closed"))
+		}
+		cs := []*CIND{ukOrdersAudited(), ordersToCustomers()}
+		if _, err := RepairByInsertion(d, cs, "?"); err != nil {
+			t.Fatal(err)
+		}
+		ok, v, err := SatisfiesAll(d, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: still violating: %v", trial, v)
+		}
+	}
+}
+
+func pick(rng *rand.Rand, vals ...string) string {
+	return vals[rng.Intn(len(vals))]
+}

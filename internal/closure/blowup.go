@@ -1,0 +1,30 @@
+package closure
+
+import (
+	"fmt"
+
+	"cfdprop/internal/cfd"
+)
+
+// BlowupFamily constructs the worst-case family of Example 4.1 (originally
+// from Fischer, Jou & Tsou): a schema with attributes Ai, Bi, Ci (i ≤ n)
+// and D, FDs {Ai → Ci, Bi → Ci, C1…Cn → D}, and a projection that drops
+// the Ci. Any cover of the propagated FDs must contain all 2^n FDs
+// η1…ηn → D with ηi ∈ {Ai, Bi}, so the minimal cover is exponentially
+// larger than the O(n)-sized input.
+func BlowupFamily(n int) (universe []string, fds []*cfd.CFD, projection []string) {
+	for i := 1; i <= n; i++ {
+		a, b, c := fmt.Sprintf("A%d", i), fmt.Sprintf("B%d", i), fmt.Sprintf("C%d", i)
+		universe = append(universe, a, b, c)
+		projection = append(projection, a, b)
+		fds = append(fds, cfd.NewFD("R", []string{a}, c), cfd.NewFD("R", []string{b}, c))
+	}
+	universe = append(universe, "D")
+	projection = append(projection, "D")
+	var cs []string
+	for i := 1; i <= n; i++ {
+		cs = append(cs, fmt.Sprintf("C%d", i))
+	}
+	fds = append(fds, cfd.NewFD("R", cs, "D"))
+	return universe, fds, projection
+}

@@ -1,0 +1,162 @@
+// Package closure implements the textbook baseline the paper compares RBR
+// against (§4.1): computing a propagation cover of FDs via a projection
+// view by materializing the closure F+ of the source FDs and projecting it
+// onto the view attributes. The method always takes time exponential in
+// the number of attributes — it enumerates every candidate LHS subset —
+// which is exactly why the paper (following Gottlob [12]) advocates RBR.
+//
+// The baseline handles traditional FDs and projection-only views, the
+// setting of [12, 23, 26]; internal/core handles full CFDs and SPC views.
+package closure
+
+import (
+	"fmt"
+	"sort"
+
+	"cfdprop/internal/cfd"
+)
+
+// MaxAttrs bounds the attribute universe (the implementation packs
+// attribute sets into uint32 masks); MaxProjAttrs bounds the projection,
+// since the algorithm enumerates its 2^|Y| subsets — the exponential cost
+// that motivates RBR.
+const (
+	MaxAttrs     = 31
+	MaxProjAttrs = 22
+)
+
+// ProjectFDs computes a cover of all FDs propagated from fds via the
+// projection view πY(R), by the closure-and-project method. The result
+// contains, for every subset X ⊆ Y, the FDs X → A with A ∈ (closure(X) ∩
+// Y) − X, left-minimized by skipping X whose proper subset already yields
+// A. All CFDs in fds must be plain FDs on one relation.
+func ProjectFDs(relation string, universe []string, fds []*cfd.CFD, y []string, viewName string) ([]*cfd.CFD, error) {
+	if len(universe) > MaxAttrs {
+		return nil, fmt.Errorf("closure: %d attributes exceeds the %d-attribute cap of the exponential baseline", len(universe), MaxAttrs)
+	}
+	if len(y) > MaxProjAttrs {
+		return nil, fmt.Errorf("closure: %d projection attributes exceeds the %d cap (2^|Y| subsets are enumerated)", len(y), MaxProjAttrs)
+	}
+	idx := make(map[string]int, len(universe))
+	for i, a := range universe {
+		idx[a] = i
+	}
+	type fdBits struct {
+		lhs uint32
+		rhs uint32
+	}
+	var compiled []fdBits
+	for _, f := range fds {
+		if f.Relation != relation {
+			continue
+		}
+		if !f.IsFD() {
+			return nil, fmt.Errorf("closure: %s is not a plain FD; the baseline handles FDs only", f)
+		}
+		var fb fdBits
+		for _, it := range f.LHS {
+			i, ok := idx[it.Attr]
+			if !ok {
+				return nil, fmt.Errorf("closure: %s mentions %q outside the universe", f, it.Attr)
+			}
+			fb.lhs |= 1 << i
+		}
+		for _, it := range f.RHS {
+			i, ok := idx[it.Attr]
+			if !ok {
+				return nil, fmt.Errorf("closure: %s mentions %q outside the universe", f, it.Attr)
+			}
+			fb.rhs |= 1 << i
+		}
+		compiled = append(compiled, fb)
+	}
+
+	var yBits uint32
+	for _, a := range y {
+		i, ok := idx[a]
+		if !ok {
+			return nil, fmt.Errorf("closure: projection attribute %q outside the universe", a)
+		}
+		yBits |= 1 << i
+	}
+
+	closureOf := func(x uint32) uint32 {
+		c := x
+		for changed := true; changed; {
+			changed = false
+			for _, f := range compiled {
+				if f.lhs&^c == 0 && f.rhs&^c != 0 {
+					c |= f.rhs
+					changed = true
+				}
+			}
+		}
+		return c
+	}
+
+	// Enumerate subsets X of Y in increasing popcount so that minimality
+	// (no proper subset of X already derives A) can be checked cheaply.
+	ySubsets := subsetsByPopcount(yBits)
+	derived := make(map[uint32]uint32, len(ySubsets)) // X -> closure(X) ∩ Y
+	var out []*cfd.CFD
+	for _, x := range ySubsets {
+		cl := closureOf(x) & yBits
+		derived[x] = cl
+		newRHS := cl &^ x
+		// Skip attributes already derivable from a proper subset.
+		for sub := x; sub > 0; sub = (sub - 1) & x {
+			if sub == x {
+				continue
+			}
+			if d, ok := derived[sub]; ok {
+				newRHS &^= d
+			}
+		}
+		if x == 0 {
+			// The empty LHS derives nothing for plain FDs.
+			continue
+		}
+		for i := 0; i < len(universe); i++ {
+			if newRHS&(1<<i) == 0 {
+				continue
+			}
+			var lhs []string
+			for j := 0; j < len(universe); j++ {
+				if x&(1<<j) != 0 {
+					lhs = append(lhs, universe[j])
+				}
+			}
+			out = append(out, cfd.NewFD(viewName, lhs, universe[i]))
+		}
+	}
+	return out, nil
+}
+
+// subsetsByPopcount lists every subset of mask ordered by population count
+// (smallest first), then by value for determinism.
+func subsetsByPopcount(mask uint32) []uint32 {
+	var subs []uint32
+	for s := mask; ; s = (s - 1) & mask {
+		subs = append(subs, s)
+		if s == 0 {
+			break
+		}
+	}
+	sort.Slice(subs, func(i, j int) bool {
+		pi, pj := popcount(subs[i]), popcount(subs[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return subs[i] < subs[j]
+	})
+	return subs
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package closure
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/core"
+	"cfdprop/internal/implication"
+	"cfdprop/internal/rel"
+)
+
+func TestProjectFDsBasic(t *testing.T) {
+	universe := []string{"A", "B", "C"}
+	fds := []*cfd.CFD{
+		cfd.MustParse(`R(A -> B)`),
+		cfd.MustParse(`R(B -> C)`),
+	}
+	got, err := ProjectFDs("R", universe, fds, []string{"A", "C"}, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := implication.InfiniteUniverse("V", "A", "C")
+	ok, err := implication.Implies(u, got, cfd.MustParse(`V(A -> C)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("baseline must derive A -> C through the dropped B; got %v", got)
+	}
+	ok, err = implication.Implies(u, got, cfd.MustParse(`V(C -> A)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("C -> A must not be derived")
+	}
+}
+
+func TestProjectFDsRejectsNonFD(t *testing.T) {
+	if _, err := ProjectFDs("R", []string{"A", "B"}, []*cfd.CFD{cfd.MustParse(`R([A=1] -> [B])`)}, []string{"A", "B"}, "V"); err == nil {
+		t.Error("pattern CFDs must be rejected by the FD baseline")
+	}
+}
+
+func TestProjectFDsCap(t *testing.T) {
+	attrs := make([]string, MaxAttrs+1)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("A%d", i)
+	}
+	if _, err := ProjectFDs("R", attrs, nil, attrs[:2], "V"); err == nil {
+		t.Error("attribute cap must be enforced")
+	}
+}
+
+// TestBaselineAgreesWithRBR cross-validates the exponential baseline with
+// PropCFD_SPC on random FD + projection workloads: the two covers must be
+// equivalent.
+func TestBaselineAgreesWithRBR(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	attrs := []string{"A", "B", "C", "D", "E"}
+	db := rel.MustDBSchema(rel.InfiniteSchema("S", attrs...))
+	for trial := 0; trial < 30; trial++ {
+		// Random FDs.
+		nFD := 1 + rng.Intn(4)
+		var fds []*cfd.CFD
+		for i := 0; i < nFD; i++ {
+			perm := rng.Perm(len(attrs))
+			k := 1 + rng.Intn(2)
+			lhs := make([]string, k)
+			for j := 0; j < k; j++ {
+				lhs[j] = attrs[perm[j]]
+			}
+			fds = append(fds, cfd.NewFD("S", lhs, attrs[perm[k]]))
+		}
+		// Random projection of size 3.
+		perm := rng.Perm(len(attrs))
+		y := []string{attrs[perm[0]], attrs[perm[1]], attrs[perm[2]]}
+
+		baseline, err := ProjectFDs("S", attrs, fds, y, "V")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		view := &algebra.SPC{
+			Name:       "V",
+			Atoms:      []algebra.RelAtom{{Source: "S", Attrs: attrs}},
+			Projection: y,
+		}
+		res, err := core.PropCFDSPC(db, view, fds, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := implication.UniverseOf(res.ViewSchema)
+		eq, err := implication.Equivalent(u, baseline, res.Cover)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("trial %d: baseline %v and RBR cover %v disagree (FDs %v, Y %v)",
+				trial, baseline, res.Cover, fds, y)
+		}
+	}
+}
+
+// TestBlowupFamily builds Example 4.1 (the exponential-cover family) and
+// checks the baseline really produces the 2^n lower bound family.
+func TestBlowupFamily(t *testing.T) {
+	n := 3
+	universe, fds, y := BlowupFamily(n)
+	got, err := ProjectFDs("R", universe, fds, y, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every choice of Ai/Bi per i must derive D.
+	u := implication.InfiniteUniverse("V", y...)
+	for mask := 0; mask < 1<<n; mask++ {
+		lhs := make([]string, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				lhs[i] = fmt.Sprintf("A%d", i+1)
+			} else {
+				lhs[i] = fmt.Sprintf("B%d", i+1)
+			}
+		}
+		phi := cfd.NewFD("V", lhs, "D")
+		ok, err := implication.Implies(u, got, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("mask %b: %s must be derivable", mask, phi)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/implication"
+	"cfdprop/internal/rel"
+)
+
+// Options tunes PropCFDSPC. The zero value follows the paper's Fig. 2.
+type Options struct {
+	// SkipPreMinCover skips the initial Σ := MinCover(Σ) (Fig. 2 line 1);
+	// exposed for the ablation benchmarks.
+	SkipPreMinCover bool
+	// RBRBlockSize is the block size for intermediate MinCover pruning
+	// inside RBR (§4.3). 0 selects DefaultRBRBlockSize, < 0 disables.
+	RBRBlockSize int
+	// DropOrder selects the attribute elimination order inside RBR.
+	DropOrder DropOrder
+	// MaxCoverSize, when > 0, switches to the polynomial-time heuristic of
+	// §1: once the working set exceeds the bound, no further resolvents
+	// are generated and the result is a subset of a cover (Truncated set).
+	MaxCoverSize int
+	// AllowFiniteDomains permits running on schemas with finite-domain
+	// attributes. §4 assumes their absence; with this flag the algorithm
+	// treats every domain as infinite, which keeps the output sound as a
+	// set of propagated CFDs but may miss CFDs that hold only for
+	// finite-domain reasons (the general-setting cover problem is open,
+	// §7). Off by default: such schemas are rejected.
+	AllowFiniteDomains bool
+	// SkipFinalMinCover returns Σc ∪ Σd without the last MinCover call
+	// (Fig. 2 line 13); exposed for the ablation benchmarks.
+	SkipFinalMinCover bool
+}
+
+// DefaultRBRBlockSize is the default block size for intermediate pruning.
+const DefaultRBRBlockSize = 64
+
+// Result is the output of PropCFDSPC.
+type Result struct {
+	// Cover is a minimal propagation cover: a minimal set of view CFDs
+	// whose implication closure is exactly CFDp(Σ, V).
+	Cover []*cfd.CFD
+	// ViewSchema is the schema of the view relation the cover is on.
+	ViewSchema *rel.Schema
+	// AlwaysEmpty reports that V (D) is empty for every D |= Σ; Cover then
+	// holds the two conflicting CFDs of Lemma 4.5.
+	AlwaysEmpty bool
+	// Truncated reports that the MaxCoverSize heuristic fired and Cover is
+	// a subset of a propagation cover.
+	Truncated bool
+	// EQ is the computed attribute equivalence relation (diagnostic).
+	EQ *EQ
+}
+
+// PropCFDSPC computes a minimal cover of all CFDs propagated from Σ via
+// the SPC view (Fig. 2). Σ may contain FDs (all-wildcard CFDs) or CFDs on
+// the source relations; the infinite-domain setting is assumed.
+func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Options) (*Result, error) {
+	if err := view.Validate(db); err != nil {
+		return nil, err
+	}
+	if db.HasFiniteAttr() && !opts.AllowFiniteDomains {
+		return nil, fmt.Errorf("core: schema has finite-domain attributes; §4 assumes their absence (set Options.AllowFiniteDomains to force)")
+	}
+	if err := cfd.ValidateAll(sigma, db); err != nil {
+		return nil, err
+	}
+	viewSchema, err := view.ViewSchema(db)
+	if err != nil {
+		return nil, err
+	}
+	blockSize := opts.RBRBlockSize
+	if blockSize == 0 {
+		blockSize = DefaultRBRBlockSize
+	}
+
+	// Line 1: Σ := MinCover(Σ), per source relation.
+	sigma = cfd.NormalizeAll(sigma)
+	if !opts.SkipPreMinCover {
+		sigma, err = minCoverPerRelation(db, sigma)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Lines 5-6 (done before ComputeEQ, which consumes the renamed CFDs):
+	// handle the Cartesian product by renaming every source CFD along each
+	// relation atom it applies to.
+	sigmaV, err := renameToView(db, view, sigma)
+	if err != nil {
+		return nil, err
+	}
+
+	// Line 2: EQ := ComputeEQ(Es, Σ).
+	eq, err := ComputeEQ(view, sigmaV)
+	if err != nil {
+		return nil, err
+	}
+	// Lines 3-4: inconsistency means the view is always empty; return the
+	// Lemma 4.5 pair of conflicting CFDs.
+	if eq.Inconsistent {
+		a := view.Projection[0]
+		return &Result{
+			Cover: []*cfd.CFD{
+				cfd.NewConstant(view.Name, a, "0"),
+				cfd.NewConstant(view.Name, a, "1"),
+			},
+			ViewSchema:  viewSchema,
+			AlwaysEmpty: true,
+			EQ:          eq,
+		}, nil
+	}
+
+	// Lines 7-10: apply the domain constraints, substituting class
+	// representatives (preferring projected attributes) and discharging
+	// keyed entries.
+	prefer := make(map[string]bool, len(view.Projection))
+	for _, y := range view.Projection {
+		prefer[y] = true
+	}
+	esAttrs := view.EsAttrs()
+	rep := eq.Rep(esAttrs, prefer)
+	var reduced []*cfd.CFD
+	for _, c := range sigmaV {
+		if r := ApplyEQ(c, eq, rep); r != nil {
+			reduced = append(reduced, r)
+		}
+	}
+	reduced = cfd.Dedup(reduced)
+
+	// Line 11: Σc := RBR(ΣV, attr(Es) − Y).
+	workspace := workspaceUniverse(db, view)
+	projected := make(map[string]bool, len(view.Projection))
+	for _, y := range view.Projection {
+		projected[y] = true
+	}
+	var dropAttrs []string
+	for _, a := range esAttrs {
+		if !projected[a] {
+			dropAttrs = append(dropAttrs, a)
+		}
+	}
+	cfg := rbrConfig{order: opts.DropOrder, blockSize: blockSize, maxCover: opts.MaxCoverSize}
+	sigmaC, truncated, err := runRBR(workspace, reduced, dropAttrs, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Line 12: Σd := EQ2CFD(EQ) over the projected attributes, plus the
+	// constant-relation CFDs for Rc (§4.2 "Basic results").
+	sigmaD := EQ2CFD(view.Name, eq, projectedEsAttrs(view))
+	for _, c := range view.Consts {
+		sigmaD = append(sigmaD, cfd.NewConstant(view.Name, c.Attr, c.Value))
+	}
+
+	// Line 13: return MinCover(Σc ∪ Σd).
+	all := cfd.Dedup(append(append([]*cfd.CFD{}, sigmaC...), sigmaD...))
+	if !opts.SkipFinalMinCover {
+		all, err = implication.MinCover(implication.UniverseOf(viewSchema), all)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Cover: all, ViewSchema: viewSchema, Truncated: truncated, EQ: eq}, nil
+}
+
+// projectedEsAttrs returns the projection attributes that come from Es
+// (i.e. excluding constant-relation attributes), which is the attribute
+// space EQ ranges over.
+func projectedEsAttrs(view *algebra.SPC) []string {
+	consts := make(map[string]bool, len(view.Consts))
+	for _, c := range view.Consts {
+		consts[c.Attr] = true
+	}
+	var out []string
+	for _, y := range view.Projection {
+		if !consts[y] {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// workspaceUniverse is the implication universe over attr(Es) with the
+// view's relation name, used by RBR's intermediate MinCover pruning.
+func workspaceUniverse(db *rel.DBSchema, view *algebra.SPC) implication.Universe {
+	var attrs []rel.Attribute
+	for _, atom := range view.Atoms {
+		src := db.Relation(atom.Source)
+		for i, a := range atom.Attrs {
+			attrs = append(attrs, rel.Attribute{Name: a, Domain: src.Attrs[i].Domain})
+		}
+	}
+	return implication.NewUniverse(view.Name, attrs)
+}
+
+// renameToView maps every source CFD along every relation atom over its
+// relation: a CFD on S contributes one renamed copy per atom ρj(S)
+// (Fig. 2 lines 5-6).
+func renameToView(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD) ([]*cfd.CFD, error) {
+	bySource := make(map[string][]*cfd.CFD)
+	for _, c := range sigma {
+		bySource[c.Relation] = append(bySource[c.Relation], c)
+	}
+	var out []*cfd.CFD
+	for _, atom := range view.Atoms {
+		src := db.Relation(atom.Source)
+		nameOf := make(map[string]string, src.Arity())
+		for i, a := range src.AttrNames() {
+			nameOf[a] = atom.Attrs[i]
+		}
+		for _, c := range bySource[atom.Source] {
+			out = append(out, c.Rename(view.Name, func(a string) string {
+				n, ok := nameOf[a]
+				if !ok {
+					// Validated earlier; defensive.
+					return a
+				}
+				return n
+			}))
+		}
+	}
+	return cfd.Dedup(out), nil
+}
+
+// minCoverPerRelation applies MinCover to each relation's bucket of Σ.
+func minCoverPerRelation(db *rel.DBSchema, sigma []*cfd.CFD) ([]*cfd.CFD, error) {
+	byRel := make(map[string][]*cfd.CFD)
+	var order []string
+	for _, c := range sigma {
+		if _, seen := byRel[c.Relation]; !seen {
+			order = append(order, c.Relation)
+		}
+		byRel[c.Relation] = append(byRel[c.Relation], c)
+	}
+	var out []*cfd.CFD
+	for _, r := range order {
+		u := implication.UniverseOf(db.Relation(r))
+		mc, err := implication.MinCover(u, byRel[r])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mc...)
+	}
+	return out, nil
+}
+
+// IsPropagated decides whether a view CFD φ is propagated, given a
+// previously computed propagation cover: Σ |=V φ iff Cover |= φ (§4
+// opening remarks). The infinite-domain setting is assumed.
+func (r *Result) IsPropagated(phi *cfd.CFD) (bool, error) {
+	return implication.Implies(implication.UniverseOf(r.ViewSchema), r.Cover, phi)
+}

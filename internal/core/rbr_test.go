@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/gen"
+	"cfdprop/internal/implication"
+)
+
+// TestDropOrderIndependence checks Proposition 4.4's order-independence:
+// RBR yields equivalent covers no matter which elimination order is used
+// (the orders may differ syntactically but must imply each other).
+func TestDropOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		db := gen.Schema(rng, gen.SchemaParams{NumRelations: 3, MinAttrs: 4, MaxAttrs: 5})
+		sigma := gen.CFDs(rng, db, gen.CFDParams{Num: 8, LHSMin: 1, LHSMax: 2, VarPct: 60})
+		view := gen.View(rng, db, "V", gen.ViewParams{Y: 4, F: 2, Ec: 2})
+
+		resA, err := PropCFDSPC(db, view, sigma, Options{DropOrder: DropFewestOccurrences})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resB, err := PropCFDSPC(db, view, sigma, Options{DropOrder: DropSequential})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := implication.UniverseOf(resA.ViewSchema)
+		eq, err := implication.Equivalent(u, resA.Cover, resB.Cover)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("trial %d: covers differ across drop orders:\nA: %v\nB: %v", trial, resA.Cover, resB.Cover)
+		}
+	}
+}
+
+// TestBlockPruningPreservesCover: disabling the §4.3 block pruning must
+// not change the cover up to equivalence.
+func TestBlockPruningPreservesCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 8; trial++ {
+		db := gen.Schema(rng, gen.SchemaParams{NumRelations: 3, MinAttrs: 4, MaxAttrs: 5})
+		sigma := gen.CFDs(rng, db, gen.CFDParams{Num: 8, LHSMin: 1, LHSMax: 2, VarPct: 60})
+		view := gen.View(rng, db, "V", gen.ViewParams{Y: 4, F: 2, Ec: 2})
+
+		pruned, err := PropCFDSPC(db, view, sigma, Options{RBRBlockSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := PropCFDSPC(db, view, sigma, Options{RBRBlockSize: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := implication.UniverseOf(pruned.ViewSchema)
+		eq, err := implication.Equivalent(u, pruned.Cover, plain.Cover)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("trial %d: pruning changed the cover:\nwith:    %v\nwithout: %v", trial, pruned.Cover, plain.Cover)
+		}
+	}
+}
+
+// TestSkipPreMinCoverPreservesCover: Fig. 2 line 1 is an optimization, not
+// a semantic step.
+func TestSkipPreMinCoverPreservesCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 8; trial++ {
+		db := gen.Schema(rng, gen.SchemaParams{NumRelations: 3, MinAttrs: 4, MaxAttrs: 5})
+		sigma := gen.CFDs(rng, db, gen.CFDParams{Num: 8, LHSMin: 1, LHSMax: 2, VarPct: 60})
+		view := gen.View(rng, db, "V", gen.ViewParams{Y: 4, F: 2, Ec: 2})
+
+		with, err := PropCFDSPC(db, view, sigma, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := PropCFDSPC(db, view, sigma, Options{SkipPreMinCover: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := implication.UniverseOf(with.ViewSchema)
+		eq, err := implication.Equivalent(u, with.Cover, without.Cover)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("trial %d: pre-MinCover changed the cover semantics", trial)
+		}
+	}
+}

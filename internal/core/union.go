@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/implication"
+	"cfdprop/internal/propagation"
+	"cfdprop/internal/rel"
+)
+
+// UnionResult is the output of PropCFDSPCU.
+type UnionResult struct {
+	// Cover is a set of CFDs propagated to the SPCU view. It is sound
+	// (every member is propagated) and minimal (no member is redundant),
+	// but — unlike the SPC algorithm — not guaranteed complete: extending
+	// the §4 cover algorithm with union is future work in the paper (§7),
+	// so this is a candidate-generation heuristic validated by the exact
+	// PTIME decision procedure of §3.
+	Cover      []*cfd.CFD
+	ViewSchema *rel.Schema
+	// Candidates counts the candidate CFDs tested against the union.
+	Candidates int
+}
+
+// PropCFDSPCU computes a sound, minimal set of CFDs propagated from Σ to
+// an SPCU view, in the infinite-domain setting.
+//
+// Method: compute the exact minimal propagation cover of each disjunct
+// (PropCFDSPC); pool the resulting CFDs as candidates, additionally
+// guarding each candidate with the constant columns of its own disjunct
+// (that is how R1(zip → street) becomes R([CC=44, zip] → [street]) in
+// Example 1.1); keep exactly the candidates the §3 decision procedure
+// certifies on the union; return their minimal cover.
+func PropCFDSPCU(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, opts Options) (*UnionResult, error) {
+	if err := view.Validate(db); err != nil {
+		return nil, err
+	}
+	viewSchema, err := view.ViewSchema(db)
+	if err != nil {
+		return nil, err
+	}
+	if db.HasFiniteAttr() && !opts.AllowFiniteDomains {
+		return nil, fmt.Errorf("core: schema has finite-domain attributes; §4 assumes their absence (set Options.AllowFiniteDomains to force)")
+	}
+
+	// Candidate pool from the per-disjunct exact covers.
+	var candidates []*cfd.CFD
+	for _, d := range view.Disjuncts {
+		res, err := PropCFDSPC(db, d, sigma, opts)
+		if err != nil {
+			return nil, err
+		}
+		if res.AlwaysEmpty {
+			continue // an empty disjunct constrains nothing on the union
+		}
+		// Collect the disjunct's constant columns as guards.
+		var guards []cfd.Item
+		for _, c := range res.Cover {
+			if attr, val, ok := c.IsConstant(); ok {
+				guards = append(guards, cfd.Item{Attr: attr, Pat: cfd.Eq(val)})
+			}
+		}
+		for _, c := range res.Cover {
+			candidates = append(candidates, c)
+			if c.Equality || len(guards) == 0 {
+				continue
+			}
+			// Guarded variant: condition the CFD on every constant column
+			// it does not already mention.
+			g := c.Clone()
+			for _, gu := range guards {
+				if !g.Mentions(gu.Attr) {
+					g.LHS = append(g.LHS, gu)
+				}
+			}
+			if !g.IsTrivial() {
+				candidates = append(candidates, g)
+			}
+		}
+	}
+	candidates = cfd.Dedup(candidates)
+
+	// Exact filtering on the union (PTIME in the infinite-domain setting,
+	// Theorem 3.5).
+	var kept []*cfd.CFD
+	for _, c := range candidates {
+		r, err := propagation.Check(db, view, sigma, c, propagation.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if r.Propagated {
+			kept = append(kept, c)
+		}
+	}
+	cover, err := implication.MinCover(implication.UniverseOf(viewSchema), kept)
+	if err != nil {
+		return nil, err
+	}
+	return &UnionResult{Cover: cover, ViewSchema: viewSchema, Candidates: len(candidates)}, nil
+}
+
+// IsPropagated decides via the computed cover; since the union cover may
+// be incomplete, a negative answer from the cover is re-checked against
+// callers' expectations only if they consult the decision procedure — use
+// propagation.Check for an exact answer.
+func (r *UnionResult) IsPropagated(phi *cfd.CFD) (bool, error) {
+	return implication.Implies(implication.UniverseOf(r.ViewSchema), r.Cover, phi)
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/gen"
+	"cfdprop/internal/propagation"
+	"cfdprop/internal/rel"
+)
+
+// example11View rebuilds the Example 1.1 SPCU integration view.
+func example11View() (*rel.DBSchema, *algebra.SPCU, []*cfd.CFD) {
+	attrs := []string{"AC", "phn", "name", "street", "city", "zip"}
+	db := rel.MustDBSchema(
+		rel.InfiniteSchema("R1", attrs...),
+		rel.InfiniteSchema("R2", attrs...),
+		rel.InfiniteSchema("R3", attrs...),
+	)
+	mk := func(src, cc string) *algebra.SPC {
+		return &algebra.SPC{
+			Name:       "R",
+			Consts:     []algebra.ConstAtom{{Attr: "CC", Value: cc}},
+			Atoms:      []algebra.RelAtom{{Source: src, Attrs: attrs}},
+			Projection: append(append([]string{}, attrs...), "CC"),
+		}
+	}
+	view, err := algebra.NewSPCU("R", mk("R1", "44"), mk("R2", "01"), mk("R3", "31"))
+	if err != nil {
+		panic(err)
+	}
+	sigma := []*cfd.CFD{
+		cfd.MustParse(`R1(zip -> street)`),
+		cfd.MustParse(`R1(AC -> city)`),
+		cfd.MustParse(`R3(AC -> city)`),
+		cfd.MustParse(`R1([AC=20] -> [city=ldn])`),
+		cfd.MustParse(`R3([AC=20] -> [city=Amsterdam])`),
+	}
+	return db, view, sigma
+}
+
+// TestUnionCoverExample11: the union cover must recover ϕ1-ϕ5 — the
+// flagship claim of the paper's introduction.
+func TestUnionCoverExample11(t *testing.T) {
+	db, view, sigma := example11View()
+	res, err := PropCFDSPCU(db, view, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`R([CC=44, zip] -> [street])`,           // ϕ1
+		`R([CC=44, AC] -> [city])`,              // ϕ2
+		`R([CC=31, AC] -> [city])`,              // ϕ3
+		`R([CC=44, AC=20] -> [city=ldn])`,       // ϕ4
+		`R([CC=31, AC=20] -> [city=Amsterdam])`, // ϕ5
+	}
+	for _, w := range want {
+		ok, err := res.IsPropagated(cfd.MustParse(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("union cover %v must imply %s", res.Cover, w)
+		}
+	}
+	// The plain FDs must NOT be implied.
+	for _, bad := range []string{`R(zip -> street)`, `R(AC -> city)`} {
+		ok, err := res.IsPropagated(cfd.MustParse(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("union cover wrongly implies %s", bad)
+		}
+	}
+}
+
+// TestUnionCoverSound: every CFD in a union cover is certified by the
+// decision procedure on random workloads.
+func TestUnionCoverSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		db := gen.Schema(rng, gen.SchemaParams{NumRelations: 3, MinAttrs: 3, MaxAttrs: 4})
+		sigma := gen.CFDs(rng, db, gen.CFDParams{Num: 5, LHSMin: 1, LHSMax: 2, VarPct: 60})
+		d1 := gen.View(rng, db, "V", gen.ViewParams{Y: 3, F: 1, Ec: 1})
+		// A union-compatible second disjunct over another relation: rename
+		// its projection to d1's.
+		d2 := gen.View(rng, db, "V", gen.ViewParams{Y: 3, F: 1, Ec: 1})
+		d2 = renameProjection(d2, d1.Projection)
+		view, err := algebra.NewSPCU("V", d1, d2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := view.Validate(db); err != nil {
+			continue // renaming collision; skip this draw
+		}
+		res, err := PropCFDSPCU(db, view, sigma, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.Cover {
+			r, err := propagation.Check(db, view, sigma, c, propagation.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Propagated {
+				t.Errorf("trial %d: union cover member %s is not propagated", trial, c)
+			}
+		}
+	}
+}
+
+// renameProjection rewrites d so its projection attribute names match
+// target, renaming the underlying atom attributes consistently.
+func renameProjection(d *algebra.SPC, target []string) *algebra.SPC {
+	m := map[string]string{}
+	for i, y := range d.Projection {
+		m[y] = target[i]
+	}
+	ren := func(a string) string {
+		if n, ok := m[a]; ok {
+			return n
+		}
+		return "u_" + a
+	}
+	out := &algebra.SPC{Name: d.Name}
+	for _, atom := range d.Atoms {
+		attrs := make([]string, len(atom.Attrs))
+		for i, a := range atom.Attrs {
+			attrs[i] = ren(a)
+		}
+		out.Atoms = append(out.Atoms, algebra.RelAtom{Source: atom.Source, Attrs: attrs})
+	}
+	for _, e := range d.Selection {
+		ne := algebra.EqAtom{Left: ren(e.Left), IsConst: e.IsConst, Right: e.Right}
+		if !e.IsConst {
+			ne.Right = ren(e.Right)
+		}
+		out.Selection = append(out.Selection, ne)
+	}
+	out.Projection = append([]string(nil), target...)
+	return out
+}
+
+// TestUnionOfIdenticalDisjunctsMatchesSPC: the union of a disjunct with
+// itself must not lose CFDs relative to the SPC cover.
+func TestUnionOfIdenticalDisjunctsMatchesSPC(t *testing.T) {
+	db := rel.MustDBSchema(rel.InfiniteSchema("S", "A", "B", "C"))
+	q := &algebra.SPC{
+		Name:       "V",
+		Atoms:      []algebra.RelAtom{{Source: "S", Attrs: []string{"A", "B", "C"}}},
+		Selection:  []algebra.EqAtom{{Left: "C", IsConst: true, Right: "9"}},
+		Projection: []string{"A", "B", "C"},
+	}
+	sigma := []*cfd.CFD{cfd.MustParse(`S(A -> B)`)}
+	spc, err := PropCFDSPC(db, q, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := algebra.NewSPCU("V", q, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spcu, err := PropCFDSPCU(db, u, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range spc.Cover {
+		ok, err := spcu.IsPropagated(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("self-union lost %s", c)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package emptiness decides the emptiness problem of Fan et al. (VLDB 2008)
+// §3.3: given a view V and source CFDs Σ, is V(D) empty for every source
+// instance D with D |= Σ?
+//
+// The test chases each union disjunct's tableau with Σ. The view is
+// non-empty iff some disjunct's chase completes without conflict (for some
+// finite-domain instantiation, in the general setting); in that case the
+// terminal instance, instantiated with fresh constants, is a witness source
+// database whose view is non-empty (Theorem 3.7's NP algorithm; PTIME
+// without finite domains, Theorem 3.8).
+package emptiness
+
+import (
+	"fmt"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/chase"
+	"cfdprop/internal/rel"
+	"cfdprop/internal/sym"
+	"cfdprop/internal/tableau"
+)
+
+// Options mirrors propagation.Options for the emptiness test.
+type Options struct {
+	General           bool
+	MaxInstantiations int
+	WantWitness       bool // construct a source database with non-empty view
+}
+
+// DefaultMaxInstantiations caps finite-domain enumeration.
+const DefaultMaxInstantiations = 1 << 20
+
+// Result reports the outcome.
+type Result struct {
+	Empty   bool
+	Witness *rel.Database // non-nil when !Empty and Options.WantWitness
+}
+
+// Check decides whether V is always empty under Σ.
+func Check(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, opts Options) (*Result, error) {
+	if err := view.Validate(db); err != nil {
+		return nil, err
+	}
+	if err := cfd.ValidateAll(sigma, db); err != nil {
+		return nil, err
+	}
+	if db.HasFiniteAttr() && !opts.General {
+		return nil, fmt.Errorf("emptiness: schema has finite-domain attributes; set Options.General")
+	}
+	if opts.MaxInstantiations <= 0 {
+		opts.MaxInstantiations = DefaultMaxInstantiations
+	}
+	sigmaN := cfd.NormalizeAll(sigma)
+
+	for _, d := range view.Disjuncts {
+		nonEmpty, witness, err := disjunctNonEmpty(db, d, sigmaN, opts)
+		if err != nil {
+			return nil, err
+		}
+		if nonEmpty {
+			return &Result{Empty: false, Witness: witness}, nil
+		}
+	}
+	return &Result{Empty: true}, nil
+}
+
+func disjunctNonEmpty(db *rel.DBSchema, q *algebra.SPC, sigmaN []*cfd.CFD, opts Options) (bool, *rel.Database, error) {
+	st := sym.NewState()
+	ci := chase.NewInst(st)
+	if err := tableau.DeclareSources(ci, db); err != nil {
+		return false, nil, err
+	}
+	if _, err := tableau.Build(ci, db, q); err != nil {
+		if _, ok := err.(tableau.ErrInconsistent); ok {
+			return false, nil, nil
+		}
+		return false, nil, err
+	}
+
+	succeed := func() (bool, error) {
+		if err := ci.Run(sigmaN); err != nil {
+			if _, ok := err.(chase.ErrUndefined); ok {
+				return false, nil
+			}
+			return false, err
+		}
+		return true, nil
+	}
+	witness := func() (*rel.Database, error) {
+		if !opts.WantWitness {
+			return nil, nil
+		}
+		w, err := ci.Concrete(db, true)
+		if err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+
+	if !opts.General {
+		ok, err := succeed()
+		if err != nil || !ok {
+			return false, nil, err
+		}
+		w, err := witness()
+		return true, w, err
+	}
+
+	roots := st.UnboundFiniteRoots()
+	if len(roots) == 0 {
+		ok, err := succeed()
+		if err != nil || !ok {
+			return false, nil, err
+		}
+		w, err := witness()
+		return true, w, err
+	}
+	domains := make([][]string, len(roots))
+	total := 1
+	for i, r := range roots {
+		domains[i] = st.Domain(sym.Variable(r)).Values
+		if len(domains[i]) == 0 {
+			return false, nil, nil
+		}
+		if total > opts.MaxInstantiations/len(domains[i]) {
+			return false, nil, fmt.Errorf("emptiness: instantiation count exceeds cap %d", opts.MaxInstantiations)
+		}
+		total *= len(domains[i])
+	}
+	base := st.Save()
+	choice := make([]int, len(roots))
+	for {
+		st.Restore(base)
+		applicable := true
+		for i, r := range roots {
+			if st.Bind(sym.Variable(r), domains[i][choice[i]]) != nil {
+				applicable = false
+				break
+			}
+		}
+		if applicable {
+			ok, err := succeed()
+			if err != nil {
+				return false, nil, err
+			}
+			if ok {
+				w, err := witness()
+				return true, w, err
+			}
+		}
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(domains[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return false, nil, nil
+		}
+	}
+}

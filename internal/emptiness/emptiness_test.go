@@ -1,0 +1,153 @@
+package emptiness
+
+import (
+	"testing"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+func schema() *rel.DBSchema {
+	return rel.MustDBSchema(rel.InfiniteSchema("S", "A", "B", "C"))
+}
+
+func selView(attr, val string) *algebra.SPCU {
+	return algebra.Single(&algebra.SPC{
+		Name:       "V",
+		Atoms:      []algebra.RelAtom{{Source: "S", Attrs: []string{"A", "B", "C"}}},
+		Selection:  []algebra.EqAtom{{Left: attr, IsConst: true, Right: val}},
+		Projection: []string{"A", "B", "C"},
+	})
+}
+
+// TestExample31 replays Example 3.1: Σ forces B = b1 everywhere, the view
+// selects B = b2, so the view is always empty.
+func TestExample31(t *testing.T) {
+	db := schema()
+	sigma := []*cfd.CFD{cfd.MustParse(`S([A] -> [B=b1])`)}
+	res, err := Check(db, selView("B", "b2"), sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Empty {
+		t.Error("view must be always empty (Example 3.1)")
+	}
+
+	// With the matching constant it is non-empty.
+	res, err = Check(db, selView("B", "b1"), sigma, Options{WantWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Empty {
+		t.Fatal("view with matching constant must be non-empty")
+	}
+	// Verify the witness end to end.
+	if res.Witness == nil {
+		t.Fatal("witness requested but missing")
+	}
+	ok, v, err := cfd.DatabaseSatisfies(res.Witness, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("witness violates Σ: %v", v)
+	}
+	out, err := selView("B", "b1").Eval(res.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("witness view is empty")
+	}
+}
+
+func TestEmptyWithoutCFDs(t *testing.T) {
+	db := schema()
+	res, err := Check(db, selView("B", "b2"), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Empty {
+		t.Error("without Σ the selection alone cannot force emptiness")
+	}
+}
+
+func TestInconsistentSelectionIsEmpty(t *testing.T) {
+	db := schema()
+	v := algebra.Single(&algebra.SPC{
+		Name:  "V",
+		Atoms: []algebra.RelAtom{{Source: "S", Attrs: []string{"A", "B", "C"}}},
+		Selection: []algebra.EqAtom{
+			{Left: "A", IsConst: true, Right: "1"},
+			{Left: "A", IsConst: true, Right: "2"},
+		},
+		Projection: []string{"A"},
+	})
+	res, err := Check(db, v, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Empty {
+		t.Error("contradictory selection must be empty")
+	}
+}
+
+func TestUnionEmptyOnlyIfAllDisjunctsEmpty(t *testing.T) {
+	db := schema()
+	sigma := []*cfd.CFD{cfd.MustParse(`S([A] -> [B=b1])`)}
+	u, err := algebra.NewSPCU("V", selView("B", "b2").Disjuncts[0], selView("B", "b1").Disjuncts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(db, u, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Empty {
+		t.Error("union with one live disjunct must be non-empty")
+	}
+}
+
+// TestGeneralSettingEmptiness: emptiness that only finite-domain reasoning
+// can see: dom(A) = {0,1}, Σ forbids both values via constant clashes.
+func TestGeneralSettingEmptiness(t *testing.T) {
+	db := rel.MustDBSchema(rel.MustSchema("S",
+		rel.Attribute{Name: "A", Domain: rel.Bool()},
+		rel.Attribute{Name: "B", Domain: rel.Infinite()},
+	))
+	v := algebra.Single(&algebra.SPC{
+		Name:       "V",
+		Atoms:      []algebra.RelAtom{{Source: "S", Attrs: []string{"A", "B"}}},
+		Projection: []string{"A", "B"},
+	})
+	// Under A=0, B must be both x and y; same under A=1: no tuple exists.
+	sigma := []*cfd.CFD{
+		cfd.MustParse(`S([A=0] -> [B=x])`),
+		cfd.MustParse(`S([A=0] -> [B=y])`),
+		cfd.MustParse(`S([A=1] -> [B=x])`),
+		cfd.MustParse(`S([A=1] -> [B=y])`),
+	}
+	res, err := Check(db, v, sigma, Options{General: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Empty {
+		t.Error("finite-domain case analysis must prove emptiness")
+	}
+	// Dropping one case re-opens the view.
+	res, err = Check(db, v, sigma[:3], Options{General: true, WantWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Empty {
+		t.Error("A=1 leaves room for a tuple")
+	}
+	ok, viol, err := cfd.DatabaseSatisfies(res.Witness, sigma[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("witness violates Σ: %v", viol)
+	}
+}

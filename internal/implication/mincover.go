@@ -1,0 +1,115 @@
+package implication
+
+import (
+	"cfdprop/internal/cfd"
+)
+
+// MinCover computes a minimal cover of Σ (all CFDs on the universe's
+// relation) per §4.1 of the paper: the result is equivalent to Σ, contains
+// only nontrivial normal-form CFDs, has no CFD with a redundant LHS
+// attribute, and no redundant CFD. It assumes the infinite-domain setting
+// (the same assumption §4 makes).
+//
+// The procedure is the classical one lifted to CFDs:
+//  1. normalize to single-attribute RHS, drop trivial CFDs, deduplicate;
+//  2. left-reduce: remove LHS attributes whose removal keeps the CFD
+//     implied by Σ (the reduced CFD implies the original, so equivalence
+//     is preserved);
+//  3. drop CFDs implied by the remaining ones.
+//
+// Complexity is O(|Σ|²) implication tests, each polynomial, matching the
+// O(|Σ|³) bound the paper quotes for MinCover of [8]. Σ is compiled once
+// into an internal session so the tests share validation and indexing.
+func MinCover(u Universe, sigma []*cfd.CFD) ([]*cfd.CFD, error) {
+	u = u.indexed()
+	work := make([]*cfd.CFD, 0, len(sigma))
+	for _, c := range cfd.NormalizeAll(sigma) {
+		if c.Relation != u.Relation {
+			continue
+		}
+		if c.IsTrivial() {
+			continue
+		}
+		work = append(work, c.Clone())
+	}
+	work = cfd.Dedup(work)
+	sess, err := newSession(u, work)
+	if err != nil {
+		return nil, err
+	}
+
+	// Left-reduction.
+	for i, c := range work {
+		if c.Equality {
+			continue
+		}
+		changed := true
+		for changed && len(c.LHS) > 0 {
+			changed = false
+			for j := range c.LHS {
+				reduced := c.Clone()
+				reduced.LHS = append(reduced.LHS[:j], reduced.LHS[j+1:]...)
+				if reduced.IsTrivial() {
+					continue
+				}
+				ok, err := sess.implies(reduced)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					work[i] = reduced
+					if err := sess.replaceCompiled(i, reduced); err != nil {
+						return nil, err
+					}
+					c = reduced
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	work = cfd.Dedup(work)
+	sess, err = newSession(u, work) // realign after dedup
+	if err != nil {
+		return nil, err
+	}
+
+	// Redundancy elimination.
+	for i := 0; i < len(work); i++ {
+		rest := sess.dropCompiled(i)
+		ok, err := rest.implies(work[i])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			work = append(work[:i], work[i+1:]...)
+			sess = rest
+			i--
+		}
+	}
+	return work, nil
+}
+
+// Equivalent reports whether two CFD sets over the universe imply each
+// other (used by tests and the closure baseline comparison).
+func Equivalent(u Universe, a, b []*cfd.CFD) (bool, error) {
+	for _, c := range b {
+		ok, err := Implies(u, a, c)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	for _, c := range a {
+		ok, err := Implies(u, b, c)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

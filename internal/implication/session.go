@@ -1,0 +1,236 @@
+package implication
+
+import (
+	"fmt"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+	"cfdprop/internal/sym"
+)
+
+// session precompiles a set Σ against a universe so that many implication
+// queries (as issued by MinCover and RBR) avoid revalidating and
+// re-indexing Σ on every call. Rows are slices indexed by universe
+// position; the chase is the same two-tuple procedure as the public
+// Implies, just without per-call map traffic.
+type session struct {
+	u     Universe
+	sigma []compiledCFD
+}
+
+type compiledCFD struct {
+	c   *cfd.CFD
+	lhs []int // universe positions of LHS attrs
+	rhs []int // universe positions of RHS attrs
+}
+
+// newSession validates and compiles sigma (already normalized; CFDs on
+// other relations are skipped).
+func newSession(u Universe, sigma []*cfd.CFD) (*session, error) {
+	u = u.indexed()
+	s := &session{u: u}
+	for _, c := range sigma {
+		if c.Relation != u.Relation {
+			continue
+		}
+		cc := compiledCFD{c: c}
+		ok := true
+		for _, it := range c.LHS {
+			i, found := u.pos(it.Attr)
+			if !found {
+				ok = false
+				break
+			}
+			cc.lhs = append(cc.lhs, i)
+		}
+		for _, it := range c.RHS {
+			i, found := u.pos(it.Attr)
+			if !found {
+				ok = false
+				break
+			}
+			cc.rhs = append(cc.rhs, i)
+		}
+		if !ok {
+			return nil, fmt.Errorf("implication: %s mentions attributes outside the universe", c)
+		}
+		s.sigma = append(s.sigma, cc)
+	}
+	return s, nil
+}
+
+// dropCompiled returns a copy of the session without the i-th compiled CFD
+// (sharing the rest) — used by MinCover's redundancy phase.
+func (s *session) dropCompiled(i int) *session {
+	out := &session{u: s.u}
+	out.sigma = make([]compiledCFD, 0, len(s.sigma)-1)
+	out.sigma = append(out.sigma, s.sigma[:i]...)
+	out.sigma = append(out.sigma, s.sigma[i+1:]...)
+	return out
+}
+
+// replaceCompiled swaps the i-th CFD for a recompiled one.
+func (s *session) replaceCompiled(i int, c *cfd.CFD) error {
+	cc := compiledCFD{c: c}
+	for _, it := range c.LHS {
+		p, ok := s.u.pos(it.Attr)
+		if !ok {
+			return fmt.Errorf("implication: %s mentions attribute outside the universe", c)
+		}
+		cc.lhs = append(cc.lhs, p)
+	}
+	for _, it := range c.RHS {
+		p, ok := s.u.pos(it.Attr)
+		if !ok {
+			return fmt.Errorf("implication: %s mentions attribute outside the universe", c)
+		}
+		cc.rhs = append(cc.rhs, p)
+	}
+	s.sigma[i] = cc
+	return nil
+}
+
+// chase runs the two-row (or one-row) chase to fixpoint. Returns false
+// when the chase is undefined (conflict), meaning the premise cannot be
+// realized under Σ.
+func (s *session) chase(st *sym.State, rows [][]sym.Term) bool {
+	for {
+		before := st.Version()
+		for _, cc := range s.sigma {
+			if cc.c.Equality {
+				for _, r := range rows {
+					if st.Equate(r[cc.lhs[0]], r[cc.rhs[0]]) != nil {
+						return false
+					}
+				}
+				continue
+			}
+			for i := range rows {
+				for j := i; j < len(rows); j++ {
+					if !s.premiseHolds(st, cc, rows[i], rows[j]) {
+						continue
+					}
+					for k, it := range cc.c.RHS {
+						a, b := rows[i][cc.rhs[k]], rows[j][cc.rhs[k]]
+						if st.Equate(a, b) != nil {
+							return false
+						}
+						if !it.Pat.Wildcard {
+							if st.Bind(a, it.Pat.Const) != nil {
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		if st.Version() == before {
+			return true
+		}
+	}
+}
+
+func (s *session) premiseHolds(st *sym.State, cc compiledCFD, t1, t2 []sym.Term) bool {
+	for k, it := range cc.c.LHS {
+		a := st.Resolve(t1[cc.lhs[k]])
+		b := st.Resolve(t2[cc.lhs[k]])
+		if a.IsVar != b.IsVar {
+			return false
+		}
+		if a.IsVar {
+			if a.Var != b.Var || !it.Pat.Wildcard {
+				return false
+			}
+		} else if a.Const != b.Const || !it.Pat.Matches(a.Const) {
+			return false
+		}
+	}
+	return true
+}
+
+// template builds the n-row implication template over the full universe.
+// shared carries phi's LHS pattern per attribute position (see implies).
+func (s *session) template(n int, shared map[int]cfd.Pattern) (*sym.State, [][]sym.Term, error) {
+	st := sym.NewState()
+	rows := make([][]sym.Term, n)
+	sharedVar := make(map[int]sym.Term, len(shared))
+	for r := 0; r < n; r++ {
+		row := make([]sym.Term, len(s.u.Attrs))
+		for i, a := range s.u.Attrs {
+			if pat, ok := shared[i]; ok {
+				if !pat.Wildcard {
+					if !a.Domain.Contains(pat.Const) {
+						return nil, nil, fmt.Errorf("implication: constant %q outside domain of %s", pat.Const, a.Name)
+					}
+					row[i] = sym.Constant(pat.Const)
+					continue
+				}
+				v, have := sharedVar[i]
+				if !have {
+					v = st.NewVar(a.Domain)
+					sharedVar[i] = v
+				}
+				row[i] = v
+				continue
+			}
+			row[i] = st.NewVar(a.Domain)
+		}
+		rows[r] = row
+	}
+	return st, rows, nil
+}
+
+// implies decides Σ |= φ using the compiled Σ (infinite-domain setting;
+// phi must be in normal form and validated against the universe).
+func (s *session) implies(phi *cfd.CFD) (bool, error) {
+	if phi.Equality {
+		a, ok1 := s.u.pos(phi.LHS[0].Attr)
+		b, ok2 := s.u.pos(phi.RHS[0].Attr)
+		if !ok1 || !ok2 {
+			return false, fmt.Errorf("implication: %s mentions attribute outside the universe", phi)
+		}
+		if a == b {
+			return true, nil
+		}
+		st, rows, err := s.template(1, nil)
+		if err != nil {
+			return false, err
+		}
+		if !s.chase(st, rows) {
+			return true, nil // no tuple can exist
+		}
+		return st.SameTerm(rows[0][a], rows[0][b]), nil
+	}
+	shared := make(map[int]cfd.Pattern, len(phi.LHS))
+	for _, it := range phi.LHS {
+		p, ok := s.u.pos(it.Attr)
+		if !ok {
+			return false, fmt.Errorf("implication: %s mentions attribute outside the universe", phi)
+		}
+		shared[p] = it.Pat
+	}
+	rhs := phi.RHS[0]
+	ai, ok := s.u.pos(rhs.Attr)
+	if !ok {
+		return false, fmt.Errorf("implication: %s mentions attribute outside the universe", phi)
+	}
+	st, rows, err := s.template(2, shared)
+	if err != nil {
+		return false, err
+	}
+	if !s.chase(st, rows) {
+		return true, nil // premise unsatisfiable: vacuously implied
+	}
+	a1 := st.Resolve(rows[0][ai])
+	a2 := st.Resolve(rows[1][ai])
+	if !st.SameTerm(a1, a2) {
+		return false, nil
+	}
+	if rhs.Pat.Wildcard {
+		return true, nil
+	}
+	return !a1.IsVar && a1.Const == rhs.Pat.Const, nil
+}
+
+// assert universe attrs carry usable domains in templates.
+var _ = rel.Domain{}

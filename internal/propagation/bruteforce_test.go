@@ -1,0 +1,203 @@
+package propagation
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+// TestBruteForceCrossValidation checks the decision procedure against an
+// exhaustive search over tiny source databases: when the checker claims
+// Σ |=V φ, no database in the enumerated space may refute it; when it
+// claims otherwise, its own counterexample must refute it (the
+// counterexample is replayed through the real evaluator).
+//
+// The enumeration covers all databases with at most 2 tuples per relation
+// over a 2-value pool — small, but enough to catch premise-handling bugs:
+// most violations need exactly two tuples.
+func TestBruteForceCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	for trial := 0; trial < trials; trial++ {
+		db := rel.MustDBSchema(rel.InfiniteSchema("S", "A", "B", "C"))
+		view := randomSmallView(rng)
+		sigma := randomSmallCFDs(rng, 2)
+		phi := randomSmallViewCFD(rng, view)
+		if phi == nil {
+			continue
+		}
+		r, err := Check(db, algebra.Single(view), sigma, phi, Options{WantCounterexample: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v (Σ=%v V=%s φ=%s)", trial, err, sigma, view, phi)
+		}
+		refuted := bruteForceRefute(t, db, view, sigma, phi)
+		if r.Propagated && refuted {
+			t.Errorf("trial %d: checker says propagated but brute force refutes it (Σ=%v V=%s φ=%s)",
+				trial, sigma, view, phi)
+		}
+		if !r.Propagated {
+			if r.Counterexample == nil {
+				t.Errorf("trial %d: counterexample missing", trial)
+				continue
+			}
+			ok, _, err := cfd.DatabaseSatisfies(r.Counterexample, sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("trial %d: counterexample violates Σ (Σ=%v V=%s φ=%s)", trial, sigma, view, phi)
+				continue
+			}
+			out, err := algebra.Single(view).Eval(r.Counterexample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sat, err := cfd.Satisfies(out, phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sat {
+				t.Errorf("trial %d: counterexample's view satisfies φ (Σ=%v V=%s φ=%s)", trial, sigma, view, phi)
+			}
+		}
+	}
+}
+
+// randomSmallView builds a random view over S(A,B,C): optional selection,
+// random projection of ≥ 2 attributes.
+func randomSmallView(rng *rand.Rand) *algebra.SPC {
+	attrs := []string{"A", "B", "C"}
+	q := &algebra.SPC{
+		Name:  "V",
+		Atoms: []algebra.RelAtom{{Source: "S", Attrs: attrs}},
+	}
+	switch rng.Intn(3) {
+	case 0:
+		q.Selection = []algebra.EqAtom{{Left: attrs[rng.Intn(3)], IsConst: true, Right: "1"}}
+	case 1:
+		a, b := rng.Intn(3), rng.Intn(3)
+		if a != b {
+			q.Selection = []algebra.EqAtom{{Left: attrs[a], Right: attrs[b]}}
+		}
+	}
+	perm := rng.Perm(3)
+	n := 2 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		q.Projection = append(q.Projection, attrs[perm[i]])
+	}
+	return q
+}
+
+// randomSmallCFDs builds up to n CFDs over S with constants from {1, 2}.
+func randomSmallCFDs(rng *rand.Rand, n int) []*cfd.CFD {
+	attrs := []string{"A", "B", "C"}
+	pat := func() cfd.Pattern {
+		switch rng.Intn(3) {
+		case 0:
+			return cfd.Eq("1")
+		case 1:
+			return cfd.Eq("2")
+		default:
+			return cfd.Any()
+		}
+	}
+	var out []*cfd.CFD
+	for i := 0; i < n; i++ {
+		perm := rng.Perm(3)
+		c := &cfd.CFD{
+			Relation: "S",
+			LHS:      []cfd.Item{{Attr: attrs[perm[0]], Pat: pat()}},
+			RHS:      []cfd.Item{{Attr: attrs[perm[1]], Pat: pat()}},
+		}
+		if c.IsTrivial() {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func randomSmallViewCFD(rng *rand.Rand, view *algebra.SPC) *cfd.CFD {
+	y := view.Projection
+	if len(y) < 2 {
+		return nil
+	}
+	pat := func() cfd.Pattern {
+		switch rng.Intn(3) {
+		case 0:
+			return cfd.Eq("1")
+		case 1:
+			return cfd.Eq("2")
+		default:
+			return cfd.Any()
+		}
+	}
+	perm := rng.Perm(len(y))
+	c := &cfd.CFD{
+		Relation: "V",
+		LHS:      []cfd.Item{{Attr: y[perm[0]], Pat: pat()}},
+		RHS:      []cfd.Item{{Attr: y[perm[1]], Pat: pat()}},
+	}
+	if c.IsTrivial() {
+		return nil
+	}
+	return c
+}
+
+// bruteForceRefute enumerates every S-instance with ≤ 2 tuples over the
+// pool {1, 2, 3} and reports whether any satisfies Σ while its view
+// violates φ. Pool size 3 > 2 ensures "fresh" values are representable.
+func bruteForceRefute(t *testing.T, db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, phi *cfd.CFD) bool {
+	t.Helper()
+	pool := []string{"1", "2", "3"}
+	var tuples []rel.Tuple
+	for _, a := range pool {
+		for _, b := range pool {
+			for _, c := range pool {
+				tuples = append(tuples, rel.Tuple{a, b, c})
+			}
+		}
+	}
+	spcu := algebra.Single(view)
+	try := func(ts ...rel.Tuple) bool {
+		d := rel.NewDatabase(db)
+		for _, tp := range ts {
+			if err := d.Insert("S", tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ok, _, err := cfd.DatabaseSatisfies(d, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return false
+		}
+		out, err := spcu.Eval(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat, err := cfd.Satisfies(out, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return !sat
+	}
+	for i := range tuples {
+		if try(tuples[i]) {
+			return true
+		}
+		for j := i + 1; j < len(tuples); j++ {
+			if try(tuples[i], tuples[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}

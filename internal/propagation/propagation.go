@@ -1,0 +1,338 @@
+// Package propagation implements the dependency propagation decision
+// procedures of Fan et al. (VLDB 2008) §3: given a source schema R, a set
+// Σ of source dependencies (FDs or CFDs), an SPCU view V and a view CFD φ,
+// decide Σ |=V φ — whether every source instance satisfying Σ yields a
+// view satisfying φ.
+//
+// Infinite-domain setting (Theorems 3.1 and 3.5, PTIME): for every pair of
+// union disjuncts (ei, ej), build two variable-disjoint tableaux, equate
+// their summaries on φ's LHS (binding pattern constants), and chase with Σ.
+// A counterexample exists iff the chase completes and the two summary terms
+// for φ's RHS attribute differ, or agree on a term incompatible with a
+// constant RHS pattern. The terminal chase instance, instantiated with
+// pairwise-distinct fresh constants, is a concrete counterexample database.
+//
+// General setting (Theorems 3.2, 3.3 and Corollary 3.6, coNP-complete):
+// the same test is run once per instantiation of the unbound finite-domain
+// variables of the initial symbolic instance, exactly as in the paper's
+// appendix proofs. The enumeration is capped by MaxInstantiations.
+package propagation
+
+import (
+	"errors"
+	"fmt"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/chase"
+	"cfdprop/internal/rel"
+	"cfdprop/internal/sym"
+)
+
+// Options configures a propagation check.
+type Options struct {
+	// General enables the general-setting (finite-domain) procedure. It is
+	// required when the source schema has finite-domain attributes.
+	General bool
+	// MaxInstantiations caps the finite-domain enumeration per pair check
+	// (0 = DefaultMaxInstantiations).
+	MaxInstantiations int
+	// WantCounterexample requests construction of a concrete witness
+	// database when the dependency is not propagated.
+	WantCounterexample bool
+}
+
+// DefaultMaxInstantiations caps finite-domain enumeration.
+const DefaultMaxInstantiations = 1 << 20
+
+// Result reports the outcome of a propagation check.
+type Result struct {
+	Propagated bool
+	// Counterexample is a source database D with D |= Σ and V(D) |̸= φ;
+	// populated when !Propagated and Options.WantCounterexample.
+	Counterexample *rel.Database
+	// PairsChecked counts disjunct pair checks performed.
+	PairsChecked int
+	// Instantiations counts finite-domain assignments examined (general
+	// setting only).
+	Instantiations int
+}
+
+// ErrFiniteDomains is returned when the infinite-domain procedure is asked
+// about a schema with finite-domain attributes; the caller must opt into
+// the general setting (the infinite-domain test is neither sound nor
+// complete there).
+var ErrFiniteDomains = errors.New("propagation: schema has finite-domain attributes; set Options.General")
+
+// Check decides Σ |=V φ.
+func Check(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.CFD, opts Options) (*Result, error) {
+	if err := view.Validate(db); err != nil {
+		return nil, err
+	}
+	if phi.Relation != view.Name {
+		return nil, fmt.Errorf("propagation: %s is on relation %q, view is %q", phi, phi.Relation, view.Name)
+	}
+	vs, err := view.ViewSchema(db)
+	if err != nil {
+		return nil, err
+	}
+	if err := phi.Validate(vs); err != nil {
+		return nil, err
+	}
+	if db.HasFiniteAttr() && !opts.General {
+		return nil, ErrFiniteDomains
+	}
+	if opts.MaxInstantiations <= 0 {
+		opts.MaxInstantiations = DefaultMaxInstantiations
+	}
+	if err := cfd.ValidateAll(sigma, db); err != nil {
+		return nil, err
+	}
+	sigmaN := cfd.NormalizeAll(sigma)
+
+	total := &Result{Propagated: true}
+	for _, p := range phi.Normalize() {
+		r, err := checkNormal(db, view, sigmaN, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		total.PairsChecked += r.PairsChecked
+		total.Instantiations += r.Instantiations
+		if !r.Propagated {
+			total.Propagated = false
+			total.Counterexample = r.Counterexample
+			return total, nil
+		}
+	}
+	return total, nil
+}
+
+// CheckAuto is Check with the setting chosen from the schema: general when
+// finite-domain attributes are present, infinite-domain otherwise.
+func CheckAuto(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.CFD) (*Result, error) {
+	return Check(db, view, sigma, phi, Options{General: db.HasFiniteAttr(), WantCounterexample: true})
+}
+
+func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options) (*Result, error) {
+	res := &Result{Propagated: true}
+	k := len(view.Disjuncts)
+	emptyDisjunct := make([]bool, k)
+
+	if phi.Equality {
+		for i := 0; i < k; i++ {
+			ok, err := equalityCheck(db, view.Disjuncts[i], sigmaN, phi, opts, res)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				res.Propagated = false
+				return res, nil
+			}
+		}
+		return res, nil
+	}
+
+	for i := 0; i < k; i++ {
+		if emptyDisjunct[i] {
+			continue
+		}
+		for j := i; j < k; j++ {
+			if emptyDisjunct[j] {
+				continue
+			}
+			ok, markEmpty, err := pairCheck(db, view.Disjuncts[i], view.Disjuncts[j], sigmaN, phi, opts, res)
+			if err != nil {
+				return nil, err
+			}
+			switch markEmpty {
+			case 1:
+				emptyDisjunct[i] = true
+			case 2:
+				emptyDisjunct[j] = true
+			}
+			if markEmpty == 1 {
+				break // all pairs with i are fine
+			}
+			if !ok {
+				res.Propagated = false
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// pairCheck tests one disjunct pair. markEmpty reports that the first (1)
+// or second (2) disjunct is unconditionally empty.
+func pairCheck(db *rel.DBSchema, e1, e2 *algebra.SPC, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (ok bool, markEmpty int, err error) {
+	res.PairsChecked++
+	st := sym.NewState()
+	ci := chase.NewInst(st)
+	if err := declareSources(ci, db); err != nil {
+		return false, 0, err
+	}
+	t1, err := buildTableau(ci, db, e1)
+	if err != nil {
+		if isInconsistent(err) {
+			return true, 1, nil
+		}
+		return false, 0, err
+	}
+	t2, err := buildTableau(ci, db, e2)
+	if err != nil {
+		if isInconsistent(err) {
+			return true, 2, nil
+		}
+		return false, 0, err
+	}
+
+	// Premise: summaries agree on φ's LHS and match its pattern constants.
+	for _, it := range phi.LHS {
+		a, b := t1.Summary[it.Attr], t2.Summary[it.Attr]
+		if !it.Pat.Wildcard {
+			if st.Bind(a, it.Pat.Const) != nil || st.Bind(b, it.Pat.Const) != nil {
+				return true, 0, nil // premise unrealizable for this pair
+			}
+		}
+		if st.Equate(a, b) != nil {
+			return true, 0, nil
+		}
+	}
+
+	rhs := phi.RHS[0]
+	evaluate := func() (propagated bool, err error) {
+		if err := ci.Run(sigmaN); err != nil {
+			if isUndefined(err) {
+				return true, nil // premise unrealizable under Σ
+			}
+			return false, err
+		}
+		a1 := st.Resolve(t1.Summary[rhs.Attr])
+		a2 := st.Resolve(t2.Summary[rhs.Attr])
+		if !st.SameTerm(a1, a2) {
+			return false, nil
+		}
+		if rhs.Pat.Wildcard {
+			return true, nil
+		}
+		return !a1.IsVar && a1.Const == rhs.Pat.Const, nil
+	}
+
+	return runSetting(ci, db, opts, res, evaluate)
+}
+
+// equalityCheck tests a special-form view CFD V(A → B, (x ‖ x)) against a
+// single disjunct.
+func equalityCheck(db *rel.DBSchema, e *algebra.SPC, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (bool, error) {
+	res.PairsChecked++
+	st := sym.NewState()
+	ci := chase.NewInst(st)
+	if err := declareSources(ci, db); err != nil {
+		return false, err
+	}
+	t, err := buildTableau(ci, db, e)
+	if err != nil {
+		if isInconsistent(err) {
+			return true, nil
+		}
+		return false, err
+	}
+	a, b := phi.LHS[0].Attr, phi.RHS[0].Attr
+	evaluate := func() (bool, error) {
+		if err := ci.Run(sigmaN); err != nil {
+			if isUndefined(err) {
+				return true, nil
+			}
+			return false, err
+		}
+		return st.SameTerm(t.Summary[a], t.Summary[b]), nil
+	}
+	ok, _, err := runSetting(ci, db, opts, res, evaluate)
+	return ok, err
+}
+
+// runSetting runs evaluate once (infinite-domain) or per finite-domain
+// instantiation (general setting), extracting a counterexample on failure.
+func runSetting(ci *chase.Inst, db *rel.DBSchema, opts Options, res *Result, evaluate func() (bool, error)) (bool, int, error) {
+	st := ci.St
+	fail := func() (bool, int, error) {
+		if opts.WantCounterexample {
+			// In the general setting every finite-domain variable was bound
+			// by the enumeration; in the infinite-domain setting none exist.
+			witness, err := ci.Concrete(db, true)
+			if err == nil {
+				res.Counterexample = witness
+			}
+		}
+		return false, 0, nil
+	}
+
+	if !opts.General {
+		ok, err := evaluate()
+		if err != nil {
+			return false, 0, err
+		}
+		if ok {
+			return true, 0, nil
+		}
+		return fail()
+	}
+
+	roots := st.UnboundFiniteRoots()
+	if len(roots) == 0 {
+		res.Instantiations++
+		ok, err := evaluate()
+		if err != nil {
+			return false, 0, err
+		}
+		if ok {
+			return true, 0, nil
+		}
+		return fail()
+	}
+	domains := make([][]string, len(roots))
+	total := 1
+	for i, r := range roots {
+		domains[i] = st.Domain(sym.Variable(r)).Values
+		if len(domains[i]) == 0 {
+			return true, 0, nil // empty domain: premise unrealizable
+		}
+		if total > opts.MaxInstantiations/len(domains[i]) {
+			return false, 0, fmt.Errorf("propagation: instantiation count exceeds cap %d", opts.MaxInstantiations)
+		}
+		total *= len(domains[i])
+	}
+	base := st.Save()
+	choice := make([]int, len(roots))
+	for {
+		st.Restore(base)
+		applicable := true
+		for i, r := range roots {
+			if st.Bind(sym.Variable(r), domains[i][choice[i]]) != nil {
+				applicable = false
+				break
+			}
+		}
+		if applicable {
+			res.Instantiations++
+			ok, err := evaluate()
+			if err != nil {
+				return false, 0, err
+			}
+			if !ok {
+				return fail()
+			}
+		}
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(domains[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return true, 0, nil
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package reduction implements the lower-bound construction of Theorem 3.2
+// (Fan et al., VLDB 2008, appendix): a polynomial reduction from 3SAT to
+// the complement of the dependency propagation problem, for source FDs, a
+// view FD and an SC view in the general (finite-domain) setting.
+//
+// Given a CNF formula φ = C1 ∧ … ∧ Cn over variables x1 … xm, the
+// construction builds
+//
+//   - R0(X, A, Z) with dom(A) = dom(Z) = {0,1} and the FD X → A: a tuple
+//     encodes a variable (X), its truth assignment (A) and a truth value
+//     of φ (Z);
+//   - Ri(A1, A2, Xi, Ai) per clause Ci with FDs (A1,A2) → (Xi,Ai) and
+//     Xi → Ai: its tuples enumerate the (variable, value) pairs that
+//     satisfy Ci, indexed by the two-bit counter (A1, A2);
+//   - the SC view V = e × e01 × e02 × e1 × … × en, where e01 forces R0 to
+//     mention every variable, e02 synchronizes R0's assignment with each
+//     clause relation, and each ej enumerates Cj's satisfying literals;
+//   - the view FD ψ = V(X, A → Z) over the attributes of the plain copy e.
+//
+// Then φ is satisfiable iff Σ ̸|=V ψ. Deciding the instance requires
+// enumerating the finite-domain variables of the chase instance — the
+// exponential case analysis that makes the general setting coNP-hard.
+package reduction
+
+import (
+	"fmt"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+// Literal is a possibly negated variable; variables are numbered from 1.
+type Literal struct {
+	Var     int
+	Negated bool
+}
+
+// Clause is a disjunction of literals (the paper uses exactly 3; any
+// positive number is accepted, smaller clauses giving smaller instances).
+type Clause []Literal
+
+// Formula is a CNF formula; NumVars variables numbered 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Satisfiable decides the formula by brute force (for tests; formulas in
+// reach of the reduction's decision procedure are tiny anyway).
+func (f Formula) Satisfiable() bool {
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		ok := true
+		for _, c := range f.Clauses {
+			sat := false
+			for _, l := range c {
+				v := mask&(1<<(l.Var-1)) != 0
+				if v != l.Negated {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Instance is the constructed propagation-problem instance.
+type Instance struct {
+	DB    *rel.DBSchema
+	Sigma []*cfd.CFD
+	View  *algebra.SPCU
+	Psi   *cfd.CFD // the view FD V(X, A → Z)
+}
+
+// Build constructs the Theorem 3.2 instance for the formula.
+func Build(f Formula) (*Instance, error) {
+	if f.NumVars <= 0 || len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("reduction: formula needs variables and clauses")
+	}
+	for ci, c := range f.Clauses {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("reduction: clause %d is empty", ci+1)
+		}
+		if len(c) > 3 {
+			return nil, fmt.Errorf("reduction: clause %d has %d literals; at most 3", ci+1, len(c))
+		}
+		for _, l := range c {
+			if l.Var < 1 || l.Var > f.NumVars {
+				return nil, fmt.Errorf("reduction: clause %d references x%d outside 1..%d", ci+1, l.Var, f.NumVars)
+			}
+		}
+	}
+
+	bit := rel.Bool()
+	r0, err := rel.NewSchema("R0",
+		rel.Attribute{Name: "X", Domain: rel.Infinite()},
+		rel.Attribute{Name: "A", Domain: bit},
+		rel.Attribute{Name: "Z", Domain: bit},
+	)
+	if err != nil {
+		return nil, err
+	}
+	db := rel.MustDBSchema(r0)
+	sigma := []*cfd.CFD{cfd.NewFD("R0", []string{"X"}, "A")} // ϕ0
+
+	for j := 1; j <= len(f.Clauses); j++ {
+		rj, err := rel.NewSchema(fmt.Sprintf("R%d", j),
+			rel.Attribute{Name: "A1", Domain: bit},
+			rel.Attribute{Name: "A2", Domain: bit},
+			rel.Attribute{Name: "Xi", Domain: rel.Infinite()},
+			rel.Attribute{Name: "Ai", Domain: bit},
+		)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Add(rj); err != nil {
+			return nil, err
+		}
+		name := rj.Name
+		sigma = append(sigma,
+			cfd.NewFD(name, []string{"A1", "A2"}, "Xi", "Ai"), // ϕj1
+			cfd.NewFD(name, []string{"Xi"}, "Ai"),             // ϕj2
+		)
+	}
+
+	// Assemble the SC view as one big product with selections, in the
+	// normal form πY(σF(Ec)) (Y = all attributes; the paper's SC fragment
+	// projects nothing away).
+	view := &algebra.SPC{Name: "V"}
+	var all []string
+	copyCount := 0
+	addR0 := func() (x, a, z string) {
+		copyCount++
+		pre := fmt.Sprintf("e%d_", copyCount)
+		view.Atoms = append(view.Atoms, algebra.RelAtom{Source: "R0", Attrs: []string{pre + "X", pre + "A", pre + "Z"}})
+		all = append(all, pre+"X", pre+"A", pre+"Z")
+		return pre + "X", pre + "A", pre + "Z"
+	}
+	addRj := func(j int) (a1, a2, xi, ai string) {
+		copyCount++
+		pre := fmt.Sprintf("e%d_", copyCount)
+		view.Atoms = append(view.Atoms, algebra.RelAtom{
+			Source: fmt.Sprintf("R%d", j),
+			Attrs:  []string{pre + "A1", pre + "A2", pre + "Xi", pre + "Ai"},
+		})
+		all = append(all, pre+"A1", pre+"A2", pre+"Xi", pre+"Ai")
+		return pre + "A1", pre + "A2", pre + "Xi", pre + "Ai"
+	}
+	sel := func(attr, val string) {
+		view.Selection = append(view.Selection, algebra.EqAtom{Left: attr, IsConst: true, Right: val})
+	}
+	selEq := func(a, b string) {
+		view.Selection = append(view.Selection, algebra.EqAtom{Left: a, Right: b})
+	}
+
+	// e: the plain copy carrying ψ's attributes.
+	eX, eA, eZ := addR0()
+
+	// e01 = σX=1(R0) × … × σX=m(R0): every variable appears in R0.
+	for v := 1; v <= f.NumVars; v++ {
+		x, _, _ := addR0()
+		sel(x, fmt.Sprintf("%d", v))
+	}
+
+	// e02: for each clause j, σ(R0.X = Rj.Xi ∧ R0.A = Rj.Ai)(R0 × Rj) —
+	// R0's assignment is consistent with the clause relation's.
+	for j := 1; j <= len(f.Clauses); j++ {
+		x0, a0, _ := addR0()
+		_, _, xi, ai := addRj(j)
+		selEq(x0, xi)
+		selEq(a0, ai)
+	}
+
+	// ej: enumerate the satisfying (variable, value) pairs of clause Cj,
+	// keyed by the counter (A1, A2). All four counter values must be
+	// pinned (shorter clauses repeat literals cyclically, as the paper
+	// repeats the first literal at (1,1)): the FD (A1,A2) → (Xi,Ai) then
+	// forces EVERY row of Rj to be one of these pairs, so the e02 join
+	// really certifies that R0's assignment satisfies the clause. Leaving
+	// a counter value unpinned would admit junk rows that defeat the
+	// reduction.
+	for j, c := range f.Clauses {
+		for slot := 0; slot < 4; slot++ {
+			l := c[slot%len(c)]
+			a1, a2, xi, ai := addRj(j + 1)
+			sel(a1, fmt.Sprintf("%d", slot&1))
+			sel(a2, fmt.Sprintf("%d", (slot>>1)&1))
+			sel(xi, fmt.Sprintf("%d", l.Var))
+			val := "1"
+			if l.Negated {
+				val = "0"
+			}
+			sel(ai, val)
+		}
+	}
+
+	view.Projection = all
+	if err := view.Validate(db); err != nil {
+		return nil, err
+	}
+	psi := cfd.NewFD("V", []string{eX, eA}, eZ)
+	return &Instance{DB: db, Sigma: sigma, View: algebra.Single(view), Psi: psi}, nil
+}

@@ -1,0 +1,249 @@
+// Package repair implements CFD-based data cleaning: given an instance
+// that violates a set of CFDs, produce a modified instance that satisfies
+// them, tracking every cell change. CFDs were proposed exactly for this
+// purpose (Fan et al., §1, application 3; the companion TODS paper).
+//
+// Finding a minimum-cost repair is NP-complete already for FDs, so this is
+// the standard greedy strategy: violations are resolved group by group —
+// tuples agreeing on a CFD's LHS (and matching its pattern) have their RHS
+// cells overwritten with the group's plurality value, or with the pattern
+// constant when the CFD prescribes one. Interacting CFDs are iterated to a
+// fixpoint; if the iteration does not converge within MaxRounds (possible
+// with antagonistic constant patterns), offending tuples are deleted, which
+// always terminates.
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+// Change records one repaired cell.
+type Change struct {
+	Tuple    int // index into the (current) instance
+	Attr     string
+	Old, New string
+	CFD      *cfd.CFD // the dependency that forced the change
+}
+
+// Deletion records one dropped tuple (fallback when modification cycles).
+type Deletion struct {
+	Tuple  rel.Tuple
+	Reason *cfd.CFD
+}
+
+// Result reports the repair.
+type Result struct {
+	Changes   []Change
+	Deletions []Deletion
+	Rounds    int
+	// Cost is the number of modified cells plus, per deleted tuple, the
+	// tuple's width (deleting is as expensive as rewriting every cell).
+	Cost int
+}
+
+// Options tunes the repair loop.
+type Options struct {
+	// MaxRounds bounds the modify-only fixpoint iterations before the
+	// deletion fallback kicks in (default 20).
+	MaxRounds int
+}
+
+// Run repairs the instance in place until it satisfies every CFD.
+func Run(in *rel.Instance, sigma []*cfd.CFD, opts Options) (*Result, error) {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 20
+	}
+	norm := cfd.NormalizeAll(sigma)
+	for _, c := range norm {
+		if c.Relation != in.Schema.Name {
+			return nil, fmt.Errorf("repair: %s is not on relation %q", c, in.Schema.Name)
+		}
+		if err := c.Validate(in.Schema); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{}
+	for round := 0; round < opts.MaxRounds; round++ {
+		res.Rounds = round + 1
+		changed, err := repairPass(in, norm, res)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return res, nil
+		}
+	}
+	// Fallback: delete tuples still involved in violations until clean.
+	for {
+		drop := map[int]*cfd.CFD{}
+		for _, c := range norm {
+			vs, err := cfd.Violations(in, c)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vs {
+				if _, dup := drop[v.T2]; !dup {
+					drop[v.T2] = c
+				}
+			}
+		}
+		if len(drop) == 0 {
+			return res, nil
+		}
+		idxs := make([]int, 0, len(drop))
+		for i := range drop {
+			idxs = append(idxs, i)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(idxs)))
+		for _, i := range idxs {
+			res.Deletions = append(res.Deletions, Deletion{Tuple: in.Tuples[i].Clone(), Reason: drop[i]})
+			res.Cost += in.Schema.Arity()
+			in.Tuples = append(in.Tuples[:i], in.Tuples[i+1:]...)
+		}
+	}
+}
+
+// repairPass applies one round of group repairs for every CFD; it reports
+// whether anything changed.
+func repairPass(in *rel.Instance, norm []*cfd.CFD, res *Result) (bool, error) {
+	changed := false
+	for _, c := range norm {
+		if c.Equality {
+			ch, err := repairEquality(in, c, res)
+			if err != nil {
+				return false, err
+			}
+			changed = changed || ch
+			continue
+		}
+		ch, err := repairStandard(in, c, res)
+		if err != nil {
+			return false, err
+		}
+		changed = changed || ch
+	}
+	return changed, nil
+}
+
+// repairEquality copies A onto B for every tuple with t[A] != t[B].
+func repairEquality(in *rel.Instance, c *cfd.CFD, res *Result) (bool, error) {
+	ia, ok := in.Schema.Index(c.LHS[0].Attr)
+	if !ok {
+		return false, fmt.Errorf("repair: missing attribute %q", c.LHS[0].Attr)
+	}
+	ib, ok := in.Schema.Index(c.RHS[0].Attr)
+	if !ok {
+		return false, fmt.Errorf("repair: missing attribute %q", c.RHS[0].Attr)
+	}
+	changed := false
+	for ti, t := range in.Tuples {
+		if t[ia] == t[ib] {
+			continue
+		}
+		res.Changes = append(res.Changes, Change{Tuple: ti, Attr: c.RHS[0].Attr, Old: t[ib], New: t[ia], CFD: c})
+		res.Cost++
+		t[ib] = t[ia]
+		changed = true
+	}
+	return changed, nil
+}
+
+// repairStandard groups matching tuples by their LHS projection and
+// rewrites RHS cells to the target value: the pattern constant when the
+// RHS pattern is one, otherwise the group's plurality value (ties broken
+// by the smaller string, for determinism).
+func repairStandard(in *rel.Instance, c *cfd.CFD, res *Result) (bool, error) {
+	lhsIdx := make([]int, len(c.LHS))
+	for i, it := range c.LHS {
+		j, ok := in.Schema.Index(it.Attr)
+		if !ok {
+			return false, fmt.Errorf("repair: missing attribute %q", it.Attr)
+		}
+		lhsIdx[i] = j
+	}
+	rhs := c.RHS[0]
+	ri, ok := in.Schema.Index(rhs.Attr)
+	if !ok {
+		return false, fmt.Errorf("repair: missing attribute %q", rhs.Attr)
+	}
+
+	groups := map[string][]int{}
+	var order []string
+	for ti, t := range in.Tuples {
+		match := true
+		for i, it := range c.LHS {
+			if !it.Pat.Matches(t[lhsIdx[i]]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		key := groupKey(t, lhsIdx)
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], ti)
+	}
+
+	changed := false
+	for _, key := range order {
+		members := groups[key]
+		target := ""
+		if !rhs.Pat.Wildcard {
+			target = rhs.Pat.Const
+		} else {
+			target = plurality(in, members, ri)
+		}
+		if !in.Schema.Attrs[ri].Domain.Contains(target) {
+			return false, fmt.Errorf("repair: target value %q outside domain of %s", target, rhs.Attr)
+		}
+		for _, ti := range members {
+			if in.Tuples[ti][ri] == target {
+				continue
+			}
+			res.Changes = append(res.Changes, Change{
+				Tuple: ti, Attr: rhs.Attr,
+				Old: in.Tuples[ti][ri], New: target, CFD: c,
+			})
+			res.Cost++
+			in.Tuples[ti][ri] = target
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// plurality picks the most frequent value of column ri among the member
+// tuples, breaking ties toward the lexicographically smaller value.
+func plurality(in *rel.Instance, members []int, ri int) string {
+	counts := map[string]int{}
+	for _, ti := range members {
+		counts[in.Tuples[ti][ri]]++
+	}
+	best, bestN := "", -1
+	vals := make([]string, 0, len(counts))
+	for v := range counts {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	for _, v := range vals {
+		if counts[v] > bestN {
+			best, bestN = v, counts[v]
+		}
+	}
+	return best
+}
+
+func groupKey(t rel.Tuple, idx []int) string {
+	key := ""
+	for _, i := range idx {
+		key += fmt.Sprintf("%d:%s;", len(t[i]), t[i])
+	}
+	return key
+}

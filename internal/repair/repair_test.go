@@ -1,0 +1,184 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/gen"
+	"cfdprop/internal/rel"
+)
+
+func instance(t *testing.T, rows ...[]string) *rel.Instance {
+	t.Helper()
+	s := rel.InfiniteSchema("R", "A", "B", "C")
+	in := rel.NewInstance(s)
+	for _, r := range rows {
+		in.MustInsert(r...)
+	}
+	return in
+}
+
+func mustClean(t *testing.T, in *rel.Instance, sigma []*cfd.CFD) {
+	t.Helper()
+	ok, v, err := cfd.SatisfiesAll(in, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("instance still dirty: %v", v)
+	}
+}
+
+func TestRepairFDByPlurality(t *testing.T) {
+	in := instance(t,
+		[]string{"k", "x", "1"},
+		[]string{"k", "x", "2"},
+		[]string{"k", "y", "1"},
+	)
+	sigma := []*cfd.CFD{cfd.MustParse(`R(A -> B)`)}
+	res, err := Run(in, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustClean(t, in, sigma)
+	// Plurality of B in the group is x (2 vs 1): one change.
+	if len(res.Changes) != 1 || res.Changes[0].New != "x" {
+		t.Errorf("want one change to x, got %v", res.Changes)
+	}
+	if res.Cost != 1 || len(res.Deletions) != 0 {
+		t.Errorf("cost = %d, deletions = %d", res.Cost, len(res.Deletions))
+	}
+}
+
+func TestRepairConstantPattern(t *testing.T) {
+	in := instance(t,
+		[]string{"20", "x", "1"},
+		[]string{"20", "ldn", "2"},
+		[]string{"30", "x", "3"},
+	)
+	sigma := []*cfd.CFD{cfd.MustParse(`R([A=20] -> [B=ldn])`)}
+	res, err := Run(in, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustClean(t, in, sigma)
+	if len(res.Changes) != 1 || res.Changes[0].New != "ldn" || res.Changes[0].Tuple != 0 {
+		t.Errorf("unexpected changes %v", res.Changes)
+	}
+	// The A=30 tuple must be untouched.
+	if in.Tuples[2][1] != "x" {
+		t.Error("non-matching tuple was modified")
+	}
+}
+
+func TestRepairEqualityCFD(t *testing.T) {
+	in := instance(t, []string{"p", "q", "z"})
+	sigma := []*cfd.CFD{cfd.NewEquality("R", "A", "B")}
+	_, err := Run(in, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustClean(t, in, sigma)
+	if in.Tuples[0][1] != "p" {
+		t.Errorf("B must be copied from A, got %q", in.Tuples[0][1])
+	}
+}
+
+func TestRepairChainedCFDs(t *testing.T) {
+	// Repairing A -> B can create new violations of B -> C; the fixpoint
+	// loop must resolve both.
+	in := instance(t,
+		[]string{"k", "b1", "c1"},
+		[]string{"k", "b2", "c2"},
+	)
+	sigma := []*cfd.CFD{cfd.MustParse(`R(A -> B)`), cfd.MustParse(`R(B -> C)`)}
+	res, err := Run(in, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustClean(t, in, sigma)
+	if res.Rounds < 2 {
+		t.Errorf("expected at least 2 rounds, got %d", res.Rounds)
+	}
+}
+
+func TestRepairDeletionFallback(t *testing.T) {
+	// Antagonistic constants: B must be both b1 (when A=a) and b2 (when
+	// C=c): a tuple with A=a, C=c cannot be modified into compliance by
+	// RHS rewriting alone — the fallback must delete it.
+	in := instance(t, []string{"a", "x", "c"})
+	sigma := []*cfd.CFD{
+		cfd.MustParse(`R([A=a] -> [B=b1])`),
+		cfd.MustParse(`R([C=c] -> [B=b2])`),
+	}
+	res, err := Run(in, sigma, Options{MaxRounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustClean(t, in, sigma)
+	if len(res.Deletions) == 0 {
+		t.Error("deletion fallback must fire")
+	}
+	if in.Len() != 0 {
+		t.Errorf("the conflicted tuple must be gone, %d remain", in.Len())
+	}
+}
+
+func TestRepairCleanInstanceUntouched(t *testing.T) {
+	in := instance(t, []string{"k", "x", "1"}, []string{"m", "y", "2"})
+	sigma := []*cfd.CFD{cfd.MustParse(`R(A -> B)`)}
+	res, err := Run(in, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 || len(res.Changes) != 0 {
+		t.Errorf("clean instance must need no repairs: %+v", res)
+	}
+}
+
+func TestRepairRejectsForeignCFD(t *testing.T) {
+	in := instance(t, []string{"k", "x", "1"})
+	if _, err := Run(in, []*cfd.CFD{cfd.MustParse(`S(A -> B)`)}, Options{}); err == nil {
+		t.Error("CFD on another relation must be rejected")
+	}
+	if _, err := Run(in, []*cfd.CFD{cfd.MustParse(`R(Z -> B)`)}, Options{}); err == nil {
+		t.Error("CFD with unknown attribute must be rejected")
+	}
+}
+
+// TestRepairRandomAlwaysConverges: on random instances and CFD sets the
+// repair always terminates with a satisfying instance.
+func TestRepairRandomAlwaysConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		db := gen.Schema(rng, gen.SchemaParams{NumRelations: 1, MinAttrs: 4, MaxAttrs: 4})
+		s := db.Relations()[0]
+		sigma := gen.CFDs(rng, db, gen.CFDParams{Num: 4, LHSMin: 1, LHSMax: 2, VarPct: 50})
+		d := gen.Instance(rng, db, 25, 3)
+		in := d.Instance(s.Name)
+		res, err := Run(in, sigma, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ok, v, err := cfd.SatisfiesAll(in, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: still dirty after repair: %v", trial, v)
+		}
+		// Cost accounting matches the recorded operations.
+		want := len(res.Changes)
+		for range res.Deletions {
+			want += s.Arity()
+		}
+		if res.Cost != want {
+			t.Errorf("trial %d: cost %d != changes+deletions %d", trial, res.Cost, want)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package spec defines the JSON interchange format for propagation
+// problems — source schemas, CFDs and SPC/SPCU views — used by the command
+// line tools and convenient for test fixtures. Finite domains are written
+// as "attr:v1|v2|..." inside attribute lists; CFDs use the text syntax of
+// internal/cfd.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+// Relation is one source relation schema.
+type Relation struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+}
+
+// Const is one column of the constant relation Rc.
+type Const struct {
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
+}
+
+// Atom is a renamed relation atom of the product Ec.
+type Atom struct {
+	Source string   `json:"source"`
+	Attrs  []string `json:"attrs"`
+}
+
+// Eq is one selection conjunct: exactly one of Right (A = B) or Const
+// (A = 'a') must be set.
+type Eq struct {
+	Left  string `json:"left"`
+	Right string `json:"right,omitempty"`
+	Const string `json:"const,omitempty"`
+}
+
+// View is an SPC query in normal form.
+type View struct {
+	Name       string   `json:"name"`
+	Consts     []Const  `json:"consts,omitempty"`
+	Atoms      []Atom   `json:"atoms"`
+	Selection  []Eq     `json:"selection,omitempty"`
+	Projection []string `json:"projection"`
+}
+
+// Problem is a full propagation problem: schema, source CFDs and a view
+// (or several union disjuncts).
+type Problem struct {
+	Relations []Relation `json:"relations"`
+	CFDs      []string   `json:"cfds"`
+	View      *View      `json:"view,omitempty"`
+	Union     []View     `json:"union,omitempty"`
+}
+
+// ParseAttr reads "name" or "name:v1|v2|..." into an attribute.
+func ParseAttr(s string) (rel.Attribute, error) {
+	name, domSpec, ok := strings.Cut(s, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return rel.Attribute{}, fmt.Errorf("spec: empty attribute in %q", s)
+	}
+	if !ok {
+		return rel.Attribute{Name: name, Domain: rel.Infinite()}, nil
+	}
+	vals := strings.Split(domSpec, "|")
+	for i := range vals {
+		vals[i] = strings.TrimSpace(vals[i])
+	}
+	return rel.Attribute{Name: name, Domain: rel.FiniteDomain(name, vals...)}, nil
+}
+
+// FormatAttr renders an attribute back to the spec syntax.
+func FormatAttr(a rel.Attribute) string {
+	if !a.Domain.Finite {
+		return a.Name
+	}
+	return a.Name + ":" + strings.Join(a.Domain.Values, "|")
+}
+
+// Decode parses a JSON problem and compiles it to library objects. When
+// Union is present the result view has several disjuncts; otherwise the
+// single View is wrapped.
+func Decode(data []byte) (*rel.DBSchema, []*cfd.CFD, *algebra.SPCU, error) {
+	var p Problem
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, nil, nil, fmt.Errorf("spec: %w", err)
+	}
+	return Compile(&p)
+}
+
+// Compile converts a parsed problem into library objects, validating
+// everything.
+func Compile(p *Problem) (*rel.DBSchema, []*cfd.CFD, *algebra.SPCU, error) {
+	if len(p.Relations) == 0 {
+		return nil, nil, nil, fmt.Errorf("spec: no relations")
+	}
+	db := rel.MustDBSchema()
+	for _, r := range p.Relations {
+		attrs := make([]rel.Attribute, len(r.Attrs))
+		for i, a := range r.Attrs {
+			pa, err := ParseAttr(a)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			attrs[i] = pa
+		}
+		s, err := rel.NewSchema(r.Name, attrs...)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := db.Add(s); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	var sigma []*cfd.CFD
+	for _, src := range p.CFDs {
+		c, err := cfd.Parse(src)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sigma = append(sigma, c)
+	}
+	if err := cfd.ValidateAll(sigma, db); err != nil {
+		return nil, nil, nil, err
+	}
+
+	var disjuncts []View
+	switch {
+	case p.View != nil && len(p.Union) > 0:
+		return nil, nil, nil, fmt.Errorf("spec: set either view or union, not both")
+	case p.View != nil:
+		disjuncts = []View{*p.View}
+	case len(p.Union) > 0:
+		disjuncts = p.Union
+	default:
+		return nil, nil, nil, fmt.Errorf("spec: missing view")
+	}
+	var qs []*algebra.SPC
+	for i := range disjuncts {
+		q, err := compileView(&disjuncts[i])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		qs = append(qs, q)
+	}
+	u, err := algebra.NewSPCU(qs[0].Name, qs...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := u.Validate(db); err != nil {
+		return nil, nil, nil, err
+	}
+	return db, sigma, u, nil
+}
+
+func compileView(v *View) (*algebra.SPC, error) {
+	q := &algebra.SPC{Name: v.Name, Projection: v.Projection}
+	for _, c := range v.Consts {
+		q.Consts = append(q.Consts, algebra.ConstAtom{Attr: c.Attr, Value: c.Value})
+	}
+	for _, a := range v.Atoms {
+		q.Atoms = append(q.Atoms, algebra.RelAtom{Source: a.Source, Attrs: a.Attrs})
+	}
+	for _, e := range v.Selection {
+		switch {
+		case e.Const != "" && e.Right != "":
+			return nil, fmt.Errorf("spec: selection atom on %q has both right and const", e.Left)
+		case e.Const != "":
+			q.Selection = append(q.Selection, algebra.EqAtom{Left: e.Left, IsConst: true, Right: e.Const})
+		case e.Right != "":
+			q.Selection = append(q.Selection, algebra.EqAtom{Left: e.Left, Right: e.Right})
+		default:
+			return nil, fmt.Errorf("spec: selection atom on %q has neither right nor const", e.Left)
+		}
+	}
+	return q, nil
+}
+
+// Encode renders library objects back into the JSON problem format.
+func Encode(db *rel.DBSchema, sigma []*cfd.CFD, view *algebra.SPCU) ([]byte, error) {
+	p := Problem{}
+	for _, s := range db.Relations() {
+		r := Relation{Name: s.Name}
+		for _, a := range s.Attrs {
+			r.Attrs = append(r.Attrs, FormatAttr(a))
+		}
+		p.Relations = append(p.Relations, r)
+	}
+	for _, c := range sigma {
+		p.CFDs = append(p.CFDs, c.String())
+	}
+	views := make([]View, 0, len(view.Disjuncts))
+	for _, d := range view.Disjuncts {
+		v := View{Name: d.Name, Projection: d.Projection}
+		for _, c := range d.Consts {
+			v.Consts = append(v.Consts, Const{Attr: c.Attr, Value: c.Value})
+		}
+		for _, a := range d.Atoms {
+			v.Atoms = append(v.Atoms, Atom{Source: a.Source, Attrs: a.Attrs})
+		}
+		for _, e := range d.Selection {
+			if e.IsConst {
+				v.Selection = append(v.Selection, Eq{Left: e.Left, Const: e.Right})
+			} else {
+				v.Selection = append(v.Selection, Eq{Left: e.Left, Right: e.Right})
+			}
+		}
+		views = append(views, v)
+	}
+	if len(views) == 1 {
+		p.View = &views[0]
+	} else {
+		p.Union = views
+	}
+	return json.MarshalIndent(&p, "", "  ")
+}

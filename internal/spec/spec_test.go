@@ -1,0 +1,168 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/gen"
+	"cfdprop/internal/rel"
+)
+
+const sample = `{
+  "relations": [
+    {"name": "S", "attrs": ["A", "B:0|1", "C"]},
+    {"name": "T", "attrs": ["D", "E"]}
+  ],
+  "cfds": ["S(A -> C)", "T([D=1] -> [E=2])"],
+  "view": {
+    "name": "V",
+    "consts": [{"attr": "K", "value": "7"}],
+    "atoms": [
+      {"source": "S", "attrs": ["a", "b", "c"]},
+      {"source": "T", "attrs": ["d", "e"]}
+    ],
+    "selection": [{"left": "c", "right": "d"}, {"left": "b", "const": "1"}],
+    "projection": ["K", "a", "c", "e"]
+  }
+}`
+
+func TestDecodeSample(t *testing.T) {
+	db, sigma, view, err := Decode([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Names()) != 2 {
+		t.Errorf("want 2 relations, got %v", db.Names())
+	}
+	d, _ := db.Relation("S").Domain("B")
+	if !d.Finite || d.Size() != 2 {
+		t.Errorf("B must have domain {0,1}, got %v", d)
+	}
+	if len(sigma) != 2 {
+		t.Errorf("want 2 CFDs, got %d", len(sigma))
+	}
+	if len(view.Disjuncts) != 1 {
+		t.Fatalf("want 1 disjunct, got %d", len(view.Disjuncts))
+	}
+	q := view.Disjuncts[0]
+	if len(q.Atoms) != 2 || len(q.Selection) != 2 || len(q.Consts) != 1 {
+		t.Errorf("view mis-decoded: %s", q)
+	}
+	if q.Fragment() != "SPC" {
+		t.Errorf("fragment = %s, want SPC", q.Fragment())
+	}
+}
+
+func TestDecodeUnion(t *testing.T) {
+	src := `{
+	  "relations": [{"name": "S", "attrs": ["A", "B"]}],
+	  "cfds": [],
+	  "union": [
+	    {"name": "V", "atoms": [{"source": "S", "attrs": ["A", "B"]}], "projection": ["A", "B"]},
+	    {"name": "V", "atoms": [{"source": "S", "attrs": ["A", "B"]}],
+	     "selection": [{"left": "A", "const": "1"}], "projection": ["A", "B"]}
+	  ]
+	}`
+	_, _, view, err := Decode([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Disjuncts) != 2 {
+		t.Fatalf("want 2 disjuncts, got %d", len(view.Disjuncts))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{}`,
+		`{"relations": [{"name": "S", "attrs": ["A"]}]}`, // no view
+		`{"relations": [{"name": "S", "attrs": ["A"]}],
+		  "cfds": ["S(A -> Z)"],
+		  "view": {"name": "V", "atoms": [{"source": "S", "attrs": ["a"]}], "projection": ["a"]}}`, // bad CFD attr
+		`{"relations": [{"name": "S", "attrs": ["A"]}], "cfds": [],
+		  "view": {"name": "V", "atoms": [{"source": "X", "attrs": ["a"]}], "projection": ["a"]}}`, // bad source
+		`{"relations": [{"name": "S", "attrs": ["A"]}], "cfds": [],
+		  "view": {"name": "V", "atoms": [{"source": "S", "attrs": ["a"]}],
+		   "selection": [{"left": "a", "right": "b", "const": "c"}], "projection": ["a"]}}`, // both right+const
+	}
+	for i, src := range bad {
+		if _, _, _, err := Decode([]byte(src)); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+}
+
+func TestParseAttr(t *testing.T) {
+	a, err := ParseAttr("X")
+	if err != nil || a.Name != "X" || a.Domain.Finite {
+		t.Errorf("plain attr mis-parsed: %v %v", a, err)
+	}
+	a, err = ParseAttr("F:0|1|2")
+	if err != nil || !a.Domain.Finite || a.Domain.Size() != 3 {
+		t.Errorf("finite attr mis-parsed: %v %v", a, err)
+	}
+	if _, err := ParseAttr(":0|1"); err == nil {
+		t.Error("empty name must fail")
+	}
+	if got := FormatAttr(a); got != "F:0|1|2" {
+		t.Errorf("FormatAttr = %q", got)
+	}
+}
+
+// TestEncodeDecodeRoundTrip: random generated problems survive a JSON
+// round trip structurally.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		db := gen.Schema(rng, gen.SchemaParams{NumRelations: 3, MinAttrs: 3, MaxAttrs: 5})
+		sigma := gen.CFDs(rng, db, gen.CFDParams{Num: 6, LHSMin: 1, LHSMax: 2, VarPct: 50})
+		view := algebra.Single(gen.View(rng, db, "V", gen.ViewParams{Y: 4, F: 2, Ec: 2}))
+
+		data, err := Encode(db, sigma, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db2, sigma2, view2, err := Decode(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, data)
+		}
+		if len(db2.Names()) != len(db.Names()) {
+			t.Errorf("trial %d: relation count changed", trial)
+		}
+		if len(sigma2) != len(sigma) {
+			t.Errorf("trial %d: CFD count changed", trial)
+		}
+		for i := range sigma {
+			if sigma[i].Key() != sigma2[i].Key() {
+				t.Errorf("trial %d: CFD %d changed: %s vs %s", trial, i, sigma[i], sigma2[i])
+			}
+		}
+		q1, q2 := view.Disjuncts[0], view2.Disjuncts[0]
+		if q1.String() != q2.String() {
+			t.Errorf("trial %d: view changed:\n%s\n%s", trial, q1, q2)
+		}
+	}
+}
+
+// TestDecodedProblemIsUsable: decoded objects feed the evaluator.
+func TestDecodedProblemIsUsable(t *testing.T) {
+	db, _, view, err := Decode([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rel.NewDatabase(db)
+	d.MustInsert("S", "x", "1", "k")
+	d.MustInsert("T", "k", "e1")
+	out, err := view.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("want 1 view tuple, got %d", out.Len())
+	}
+	if v, _ := out.Value(0, "K"); v != "7" {
+		t.Errorf("constant column K = %q, want 7", v)
+	}
+}

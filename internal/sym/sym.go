@@ -1,0 +1,272 @@
+// Package sym implements symbolic values for the chase: terms that are
+// either constants or variables, and a union-find structure that merges
+// variables, binds variables to constants, tracks each variable's admissible
+// domain, and detects conflicts (two distinct constants equated, or a
+// variable bound outside its finite domain).
+//
+// The chase procedures in the appendix of Fan et al. (VLDB 2008) repeatedly
+// equate terms ("let t[A] = t'[A]") and declare the chase undefined when two
+// distinct constants would be identified; State is exactly that machinery.
+package sym
+
+import (
+	"fmt"
+
+	"cfdprop/internal/rel"
+)
+
+// Term is a symbolic value: a constant or a variable identifier. Variables
+// are identified by small non-negative integers allocated by a State.
+type Term struct {
+	IsVar bool
+	Var   int    // valid when IsVar
+	Const string // valid when !IsVar
+}
+
+// Constant builds a constant term.
+func Constant(v string) Term { return Term{Const: v} }
+
+// Variable builds a variable term (normally via State.NewVar).
+func Variable(id int) Term { return Term{IsVar: true, Var: id} }
+
+func (t Term) String() string {
+	if t.IsVar {
+		return fmt.Sprintf("v%d", t.Var)
+	}
+	return fmt.Sprintf("%q", t.Const)
+}
+
+// State is a union-find over variables with per-class constant bindings and
+// domain constraints. The zero value is not usable; call NewState.
+type State struct {
+	parent []int
+	rank   []int
+	// class info, valid at root indexes only:
+	bound  []bool
+	value  []string
+	domain []rel.Domain
+
+	conflict error // non-nil after the first failed Equate/Bind
+	version  int   // incremented on every state-changing Bind/Equate
+}
+
+// NewState returns an empty state.
+func NewState() *State { return &State{} }
+
+// NewVar allocates a fresh variable constrained to the given domain and
+// returns its term.
+func (s *State) NewVar(d rel.Domain) Term {
+	id := len(s.parent)
+	s.parent = append(s.parent, id)
+	s.rank = append(s.rank, 0)
+	s.bound = append(s.bound, false)
+	s.value = append(s.value, "")
+	s.domain = append(s.domain, d)
+	return Variable(id)
+}
+
+// NumVars returns the number of variables ever allocated.
+func (s *State) NumVars() int { return len(s.parent) }
+
+// Conflict returns the first conflict encountered, or nil.
+func (s *State) Conflict() error { return s.conflict }
+
+// Version returns a counter that increases whenever a Bind or Equate call
+// changes the state; chase loops use it to detect fixpoints.
+func (s *State) Version() int { return s.version }
+
+// find returns the root of the variable's class with path compression.
+func (s *State) find(v int) int {
+	for s.parent[v] != v {
+		s.parent[v] = s.parent[s.parent[v]]
+		v = s.parent[v]
+	}
+	return v
+}
+
+// Resolve normalizes a term: a variable bound to a constant resolves to
+// that constant; an unbound variable resolves to its class root.
+func (s *State) Resolve(t Term) Term {
+	if !t.IsVar {
+		return t
+	}
+	r := s.find(t.Var)
+	if s.bound[r] {
+		return Constant(s.value[r])
+	}
+	return Variable(r)
+}
+
+// SameTerm reports whether two terms resolve to the same constant or the
+// same variable class.
+func (s *State) SameTerm(a, b Term) bool {
+	ra, rb := s.Resolve(a), s.Resolve(b)
+	if ra.IsVar != rb.IsVar {
+		return false
+	}
+	if ra.IsVar {
+		return ra.Var == rb.Var
+	}
+	return ra.Const == rb.Const
+}
+
+// fail records and returns a conflict.
+func (s *State) fail(format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	if s.conflict == nil {
+		s.conflict = err
+	}
+	return err
+}
+
+// Bind forces a term to equal the given constant. It fails when the term is
+// already a different constant or the constant lies outside the term's
+// domain.
+func (s *State) Bind(t Term, c string) error {
+	rt := s.Resolve(t)
+	if !rt.IsVar {
+		if rt.Const != c {
+			return s.fail("sym: constants %q and %q equated", rt.Const, c)
+		}
+		return nil
+	}
+	r := rt.Var
+	if !s.domain[r].Contains(c) {
+		return s.fail("sym: constant %q outside domain %s", c, s.domain[r])
+	}
+	s.bound[r] = true
+	s.value[r] = c
+	s.version++
+	return nil
+}
+
+// Equate merges two terms, failing on a constant clash or an empty domain
+// intersection.
+func (s *State) Equate(a, b Term) error {
+	ra, rb := s.Resolve(a), s.Resolve(b)
+	switch {
+	case !ra.IsVar && !rb.IsVar:
+		if ra.Const != rb.Const {
+			return s.fail("sym: constants %q and %q equated", ra.Const, rb.Const)
+		}
+		return nil
+	case !ra.IsVar:
+		return s.Bind(rb, ra.Const)
+	case !rb.IsVar:
+		return s.Bind(ra, rb.Const)
+	}
+	x, y := ra.Var, rb.Var
+	if x == y {
+		return nil
+	}
+	d := s.domain[x].Intersect(s.domain[y])
+	if d.Finite && d.Size() == 0 {
+		return s.fail("sym: empty domain intersection of %s and %s", s.domain[x], s.domain[y])
+	}
+	// union by rank
+	if s.rank[x] < s.rank[y] {
+		x, y = y, x
+	}
+	s.parent[y] = x
+	if s.rank[x] == s.rank[y] {
+		s.rank[x]++
+	}
+	s.domain[x] = d
+	s.version++
+	return nil
+}
+
+// Domain returns the current domain constraint of a term: a singleton
+// domain for constants, the class domain for variables.
+func (s *State) Domain(t Term) rel.Domain {
+	rt := s.Resolve(t)
+	if !rt.IsVar {
+		return rel.FiniteDomain("const", rt.Const)
+	}
+	return s.domain[rt.Var]
+}
+
+// UnboundFiniteRoots returns the class roots that are unbound and whose
+// domain is finite, in increasing id order. These are the variables the
+// general-setting decision procedures must instantiate.
+func (s *State) UnboundFiniteRoots() []int {
+	var out []int
+	for v := range s.parent {
+		if s.find(v) == v && !s.bound[v] && s.domain[v].Finite {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Snapshot captures the state so it can be restored after speculative
+// chasing. Restoring is O(n) in the number of variables.
+type Snapshot struct {
+	parent  []int
+	rank    []int
+	bound   []bool
+	value   []string
+	domain  []rel.Domain
+	version int
+}
+
+// Save captures the current state.
+func (s *State) Save() *Snapshot {
+	sn := &Snapshot{
+		parent:  append([]int(nil), s.parent...),
+		rank:    append([]int(nil), s.rank...),
+		bound:   append([]bool(nil), s.bound...),
+		value:   append([]string(nil), s.value...),
+		domain:  append([]rel.Domain(nil), s.domain...),
+		version: s.version,
+	}
+	return sn
+}
+
+// Restore rewinds the state to a snapshot taken from the same State. The
+// conflict flag is cleared.
+func (s *State) Restore(sn *Snapshot) {
+	s.parent = append(s.parent[:0], sn.parent...)
+	s.rank = append(s.rank[:0], sn.rank...)
+	s.bound = append(s.bound[:0], sn.bound...)
+	s.value = append(s.value[:0], sn.value...)
+	s.domain = append(s.domain[:0], sn.domain...)
+	s.version = sn.version
+	s.conflict = nil
+}
+
+// FreshConstant returns a constant string guaranteed (by construction of
+// the "\x00fresh" prefix, which no parser in this module produces) not to
+// collide with any user constant. Used to instantiate terminal chase
+// instances into concrete counterexamples.
+func FreshConstant(i int) string { return fmt.Sprintf("\x00fresh%d", i) }
+
+// InstantiateDistinct maps every unbound variable class to a distinct fresh
+// constant and returns a function resolving terms to concrete strings.
+// Unbound finite-domain classes pick the first domain value not excluded;
+// callers that need exhaustive finite-domain treatment must enumerate
+// beforehand (see internal/propagation).
+func (s *State) InstantiateDistinct() func(Term) string {
+	assign := make(map[int]string)
+	next := 0
+	return func(t Term) string {
+		rt := s.Resolve(t)
+		if !rt.IsVar {
+			return rt.Const
+		}
+		if v, ok := assign[rt.Var]; ok {
+			return v
+		}
+		var v string
+		if d := s.domain[rt.Var]; d.Finite {
+			// Pick an arbitrary member; exhaustive choice is the caller's
+			// responsibility in the general setting.
+			v = d.Values[0]
+		} else {
+			v = FreshConstant(next)
+			next++
+		}
+		assign[rt.Var] = v
+		return v
+	}
+}
