@@ -226,6 +226,23 @@ func BenchmarkImplication(b *testing.B) {
 	}
 }
 
+// BenchmarkPropCFDSPC measures the end-to-end Fig. 2 algorithm with
+// allocation reporting, at the sizes BENCH_implication.json tracks.
+func BenchmarkPropCFDSPC(b *testing.B) {
+	for _, sigma := range []int{200, 500} {
+		b.Run(fmt.Sprintf("sigma=%d", sigma), func(b *testing.B) {
+			db, cfds, view := workload(5, sigma, 15, 6, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PropCFDSPC(db, view, cfds, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMinCover measures MinCover on one relation's CFD bucket.
 func BenchmarkMinCover(b *testing.B) {
 	rng := rand.New(rand.NewSource(13))

@@ -10,7 +10,10 @@
 //   - internal/cfd       — CFDs: pattern tuples, satisfaction, violations
 //   - internal/algebra   — SPC / SPCU views in normal form, evaluator
 //   - internal/sym, internal/chase, internal/tableau — the chase machinery
-//   - internal/implication — CFD implication, consistency, MinCover
+//     (sym journals class changes so chase fixpoints are worklist-driven)
+//   - internal/implication — CFD implication, consistency, MinCover; the
+//     pooled Session API reuses one compiled Σ, worklist chase state and
+//     closure fast path across many queries (see the package comment)
 //   - internal/propagation — the Σ |=V φ decision procedures (§3)
 //   - internal/emptiness — the view-emptiness problem (§3.3)
 //   - internal/core      — PropCFD_SPC: minimal propagation covers (§4)

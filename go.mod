@@ -1,0 +1,3 @@
+module cfdprop
+
+go 1.22

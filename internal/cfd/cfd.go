@@ -16,7 +16,7 @@ package cfd
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 
 	"cfdprop/internal/rel"
@@ -365,23 +365,70 @@ func (c *CFD) IsTrivial() bool {
 }
 
 // Key returns a canonical string identifying the CFD up to reordering of
-// the LHS. Useful for set semantics over CFDs.
+// the LHS. Useful for set semantics over CFDs. Dedup sits on MinCover's
+// hot path, so items are formatted into one buffer and sorted by segment
+// instead of materializing per-item strings.
 func (c *CFD) Key() string {
-	lhs := make([]string, len(c.LHS))
-	for i, it := range c.LHS {
-		lhs[i] = fmt.Sprintf("%d:%s=%s", len(it.Attr), it.Attr, it.Pat)
-	}
-	sort.Strings(lhs)
-	rhs := make([]string, len(c.RHS))
-	for i, it := range c.RHS {
-		rhs[i] = fmt.Sprintf("%d:%s=%s", len(it.Attr), it.Attr, it.Pat)
-	}
-	sort.Strings(rhs)
-	kind := "std"
+	buf := make([]byte, 0, 64)
 	if c.Equality {
-		kind = "eq"
+		buf = append(buf, "eq|"...)
+	} else {
+		buf = append(buf, "std|"...)
 	}
-	return fmt.Sprintf("%s|%s|%s|%s", kind, c.Relation, strings.Join(lhs, ","), strings.Join(rhs, ","))
+	buf = append(buf, c.Relation...)
+	buf = append(buf, '|')
+	buf = appendItemsKey(buf, c.LHS)
+	buf = append(buf, '|')
+	buf = appendItemsKey(buf, c.RHS)
+	return string(buf)
+}
+
+// appendItemsKey appends the "<len>:<attr>=<pat>" encoding of each item
+// (the length prefix keeps attrs containing separator characters
+// unambiguous), comma-separated in (attr, pattern) order.
+func appendItemsKey(buf []byte, items []Item) []byte {
+	var scratch [16]int
+	order := scratch[:0]
+	if len(items) > len(scratch) {
+		order = make([]int, 0, len(items))
+	}
+	for i := range items {
+		order = append(order, i)
+	}
+	// Insertion sort: item lists are tiny and sort.Slice's closure would
+	// allocate. Attributes are unique per side, so the pattern tiebreak is
+	// defensive only.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && itemLess(items[order[j]], items[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for k, o := range order {
+		if k > 0 {
+			buf = append(buf, ',')
+		}
+		it := items[o]
+		buf = strconv.AppendInt(buf, int64(len(it.Attr)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, it.Attr...)
+		buf = append(buf, '=')
+		if it.Pat.Wildcard {
+			buf = append(buf, '_')
+		} else {
+			buf = append(buf, it.Pat.Const...)
+		}
+	}
+	return buf
+}
+
+func itemLess(a, b Item) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	if a.Pat.Wildcard != b.Pat.Wildcard {
+		return a.Pat.Wildcard
+	}
+	return a.Pat.Const < b.Pat.Const
 }
 
 // Dedup removes duplicate CFDs (by Key) preserving order.

@@ -107,6 +107,12 @@ func (e ErrUndefined) Unwrap() error { return e.Cause }
 // domain is emptied), and a plain error on malformed input. Dependencies
 // whose relation has no rows are ignored. Multi-RHS CFDs are applied
 // directly (no prior normalization needed).
+//
+// The fixpoint is worklist-driven: dependencies are indexed by the columns
+// their LHS mentions, the term state journals which classes change (see
+// sym.Event), and only the dependencies whose LHS touches a changed class
+// are re-examined — instead of rescanning all of Σ against all row pairs
+// per round.
 func (ci *Inst) Run(sigma []*cfd.CFD) error {
 	// Pre-resolve attribute positions per CFD for speed.
 	type compiled struct {
@@ -145,17 +151,68 @@ func (ci *Inst) Run(sigma []*cfd.CFD) error {
 		cs = append(cs, cc)
 	}
 
-	for {
-		before := ci.St.Version()
-		for _, cc := range cs {
-			if err := ci.apply(cc.c, cc.lhs, cc.rhs, cc.rows); err != nil {
-				return err
+	// occ maps each unbound class root to the dependencies whose premise
+	// mentions a column holding a member of the class. Equality CFDs need
+	// no entries: equating t[A] with t[B] is idempotent, so applying them
+	// once (from the seed) suffices.
+	occ := make(map[int][]int)
+	for i, cc := range cs {
+		if cc.c.Equality {
+			continue
+		}
+		for _, p := range cc.lhs {
+			for _, r := range cc.rows {
+				if rt := ci.St.Resolve(r.Cols[p]); rt.IsVar {
+					occ[rt.Var] = append(occ[rt.Var], i)
+				}
 			}
 		}
-		if ci.St.Version() == before {
-			return nil
+	}
+
+	ci.St.TrackEvents(true)
+	defer ci.St.TrackEvents(false)
+
+	// Seed with every dependency: any premise that holds initially is found
+	// by the first examination; later ones only start to hold after a
+	// journal event on a mentioned class.
+	queue := make([]int, len(cs), 2*len(cs))
+	inQ := make([]bool, len(cs))
+	for i := range cs {
+		queue[i] = i
+		inQ[i] = true
+	}
+	enqueue := func(list []int) {
+		for _, i := range list {
+			if !inQ[i] {
+				inQ[i] = true
+				queue = append(queue, i)
+			}
 		}
 	}
+	for qh := 0; qh < len(queue); qh++ {
+		i := queue[qh]
+		inQ[i] = false
+		cc := cs[i]
+		if err := ci.apply(cc.c, cc.lhs, cc.rhs, cc.rows); err != nil {
+			return err
+		}
+		for _, ev := range ci.St.Events() {
+			if ev.Merged >= 0 {
+				// Union: only members of the absorbed class changed how
+				// they resolve; carry their interests over to the winner.
+				if l := occ[ev.Merged]; len(l) > 0 {
+					enqueue(l)
+					occ[ev.Root] = append(occ[ev.Root], l...)
+				}
+				delete(occ, ev.Merged)
+			} else {
+				// Bind: the whole class now resolves to a constant.
+				enqueue(occ[ev.Root])
+			}
+		}
+		ci.St.ClearEvents()
+	}
+	return nil
 }
 
 // apply performs one pass of a single dependency over its rows.

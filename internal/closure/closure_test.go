@@ -22,15 +22,18 @@ func TestProjectFDsBasic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u := implication.InfiniteUniverse("V", "A", "C")
-	ok, err := implication.Implies(u, got, cfd.MustParse(`V(A -> C)`))
+	sess := implication.NewSession(implication.InfiniteUniverse("V", "A", "C"))
+	if err := sess.SetSigma(got); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := sess.Implies(cfd.MustParse(`V(A -> C)`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
 		t.Errorf("baseline must derive A -> C through the dropped B; got %v", got)
 	}
-	ok, err = implication.Implies(u, got, cfd.MustParse(`V(C -> A)`))
+	ok, err = sess.Implies(cfd.MustParse(`V(C -> A)`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,8 +117,12 @@ func TestBlowupFamily(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Every choice of Ai/Bi per i must derive D.
-	u := implication.InfiniteUniverse("V", y...)
+	// Every choice of Ai/Bi per i must derive D. The 2^n queries share one
+	// session, so the baseline cover is compiled once.
+	sess := implication.NewSession(implication.InfiniteUniverse("V", y...))
+	if err := sess.SetSigma(got); err != nil {
+		t.Fatal(err)
+	}
 	for mask := 0; mask < 1<<n; mask++ {
 		lhs := make([]string, n)
 		for i := 0; i < n; i++ {
@@ -126,7 +133,7 @@ func TestBlowupFamily(t *testing.T) {
 			}
 		}
 		phi := cfd.NewFD("V", lhs, "D")
-		ok, err := implication.Implies(u, got, phi)
+		ok, err := sess.Implies(phi)
 		if err != nil {
 			t.Fatal(err)
 		}

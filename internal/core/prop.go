@@ -159,7 +159,7 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 	// Line 13: return MinCover(Σc ∪ Σd).
 	all := cfd.Dedup(append(append([]*cfd.CFD{}, sigmaC...), sigmaD...))
 	if !opts.SkipFinalMinCover {
-		all, err = implication.MinCover(implication.UniverseOf(viewSchema), all)
+		all, err = implication.NewSession(implication.UniverseOf(viewSchema)).MinCover(all)
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +226,8 @@ func renameToView(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD) ([]*cfd
 	return cfd.Dedup(out), nil
 }
 
-// minCoverPerRelation applies MinCover to each relation's bucket of Σ.
+// minCoverPerRelation applies MinCover to each relation's bucket of Σ,
+// one implication session per source relation.
 func minCoverPerRelation(db *rel.DBSchema, sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 	byRel := make(map[string][]*cfd.CFD)
 	var order []string
@@ -238,8 +239,8 @@ func minCoverPerRelation(db *rel.DBSchema, sigma []*cfd.CFD) ([]*cfd.CFD, error)
 	}
 	var out []*cfd.CFD
 	for _, r := range order {
-		u := implication.UniverseOf(db.Relation(r))
-		mc, err := implication.MinCover(u, byRel[r])
+		sess := implication.NewSession(implication.UniverseOf(db.Relation(r)))
+		mc, err := sess.MinCover(byRel[r])
 		if err != nil {
 			return nil, err
 		}

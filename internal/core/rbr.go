@@ -135,6 +135,10 @@ func drop(gamma []*cfd.CFD, a string, truncate bool) []*cfd.CFD {
 func runRBR(u implication.Universe, gamma []*cfd.CFD, dropAttrs []string, cfg rbrConfig) (out []*cfd.CFD, truncated bool, err error) {
 	gamma = cfd.Dedup(gamma)
 	remaining := append([]string(nil), dropAttrs...)
+	// One implication session serves every block-pruning MinCover across
+	// all elimination rounds: the workspace universe is compiled once and
+	// the chase state is pooled across the whole RBR run.
+	sess := implication.NewSession(u)
 	// Lazy pruning: the block-wise MinCover of §4.3 only pays off when
 	// resolution actually grew the working set. Most eliminations on
 	// sparse workloads just delete CFDs, so pruning after every drop would
@@ -163,7 +167,7 @@ func runRBR(u implication.Universe, gamma []*cfd.CFD, dropAttrs []string, cfg rb
 			sinceLastPrune += grew
 		}
 		if cfg.blockSize > 0 && sinceLastPrune >= cfg.blockSize && len(gamma) > cfg.blockSize {
-			gamma, err = blockMinCover(u, gamma, cfg.blockSize)
+			gamma, err = blockMinCover(sess, gamma, cfg.blockSize)
 			if err != nil {
 				return nil, false, err
 			}
@@ -198,15 +202,16 @@ func occurrenceCounts(gamma []*cfd.CFD, candidates []string) map[string]int {
 
 // blockMinCover partitions Γ into blocks of size k and replaces each block
 // with its minimal cover — the §4.3 optimization that sheds redundant CFDs
-// in O(|Γ|·k²) implication tests instead of O(|Γ|³).
-func blockMinCover(u implication.Universe, gamma []*cfd.CFD, k int) ([]*cfd.CFD, error) {
+// in O(|Γ|·k²) implication tests instead of O(|Γ|³). Blocks share the
+// caller's implication session.
+func blockMinCover(sess *implication.Session, gamma []*cfd.CFD, k int) ([]*cfd.CFD, error) {
 	var out []*cfd.CFD
 	for start := 0; start < len(gamma); start += k {
 		end := start + k
 		if end > len(gamma) {
 			end = len(gamma)
 		}
-		mc, err := implication.MinCover(u, gamma[start:end])
+		mc, err := sess.MinCover(gamma[start:end])
 		if err != nil {
 			return nil, err
 		}

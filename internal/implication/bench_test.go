@@ -1,0 +1,82 @@
+package implication
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/gen"
+)
+
+// implBenchWorkload builds a single-relation workload of num CFDs plus a
+// pool of normalized query CFDs, mirroring the §5 generator parameters.
+func implBenchWorkload(seed int64, num int) (Universe, []*cfd.CFD, []*cfd.CFD) {
+	rng := rand.New(rand.NewSource(seed))
+	db := gen.Schema(rng, gen.SchemaParams{NumRelations: 1, MinAttrs: 15, MaxAttrs: 15})
+	s := db.Relations()[0]
+	sigma := cfd.NormalizeAll(gen.CFDs(rng, db, gen.CFDParams{Num: num, LHSMin: 3, LHSMax: 6, VarPct: 40}))
+	phis := cfd.NormalizeAll(gen.CFDs(rng, db, gen.CFDParams{Num: 64, LHSMin: 2, LHSMax: 5, VarPct: 40}))
+	return UniverseOf(s), sigma, phis
+}
+
+// BenchmarkMinCover measures MinCover on the internal/gen workload at the
+// sizes the acceptance criteria track.
+func BenchmarkMinCover(b *testing.B) {
+	for _, num := range []int{64, 150} {
+		b.Run(fmt.Sprintf("sigma=%d", num), func(b *testing.B) {
+			u, sigma, _ := implBenchWorkload(13, num)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := MinCover(u, sigma); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestImpliesSessionAllocationFree asserts the pooled session reaches a
+// zero-allocation steady state: after a warmup pass sizes every buffer,
+// repeated implication queries must not allocate.
+func TestImpliesSessionAllocationFree(t *testing.T) {
+	u, sigma, phis := implBenchWorkload(23, 96)
+	sess, err := newSession(u, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		for _, phi := range phis {
+			if _, err := sess.implies(phi); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run() // warmup: grow pooled buffers to steady state
+	avg := testing.AllocsPerRun(100, run)
+	if per := avg / float64(len(phis)); per > 0.01 {
+		t.Errorf("steady-state implies allocates %.3f allocs/query, want 0", per)
+	}
+}
+
+// BenchmarkImpliesSession measures repeated implication queries against one
+// compiled Σ — the MinCover/RBR access pattern.
+func BenchmarkImpliesSession(b *testing.B) {
+	for _, num := range []int{64, 150} {
+		b.Run(fmt.Sprintf("sigma=%d", num), func(b *testing.B) {
+			u, sigma, phis := implBenchWorkload(17, num)
+			sess, err := newSession(u, sigma)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.implies(phis[i%len(phis)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,342 @@
+package implication
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/gen"
+	"cfdprop/internal/sym"
+)
+
+// This file keeps the pre-worklist implication engine — fresh state and
+// template per call, full rescan of Σ per fixpoint round, no fast path —
+// as the differential oracle for the incremental engine in session.go and
+// fastpath.go.
+
+type refSession struct {
+	u     Universe
+	sigma []refCompiled
+}
+
+type refCompiled struct {
+	c        *cfd.CFD
+	lhs, rhs []int
+}
+
+func newRefSession(u Universe, sigma []*cfd.CFD) (*refSession, error) {
+	u = u.indexed()
+	s := &refSession{u: u}
+	for _, c := range sigma {
+		if c.Relation != u.Relation {
+			continue
+		}
+		cc := refCompiled{c: c}
+		for _, it := range c.LHS {
+			i, ok := u.pos(it.Attr)
+			if !ok {
+				return nil, fmt.Errorf("implication: %s outside universe", c)
+			}
+			cc.lhs = append(cc.lhs, i)
+		}
+		for _, it := range c.RHS {
+			i, ok := u.pos(it.Attr)
+			if !ok {
+				return nil, fmt.Errorf("implication: %s outside universe", c)
+			}
+			cc.rhs = append(cc.rhs, i)
+		}
+		s.sigma = append(s.sigma, cc)
+	}
+	return s, nil
+}
+
+// chase is the original version-counter fixpoint: every round rescans all
+// of Σ against all row pairs until nothing changes.
+func (s *refSession) chase(st *sym.State, rows [][]sym.Term) bool {
+	for {
+		before := st.Version()
+		for _, cc := range s.sigma {
+			if cc.c.Equality {
+				for _, r := range rows {
+					if st.Equate(r[cc.lhs[0]], r[cc.rhs[0]]) != nil {
+						return false
+					}
+				}
+				continue
+			}
+			for i := range rows {
+				for j := i; j < len(rows); j++ {
+					if !s.premiseHolds(st, cc, rows[i], rows[j]) {
+						continue
+					}
+					for k, it := range cc.c.RHS {
+						a, b := rows[i][cc.rhs[k]], rows[j][cc.rhs[k]]
+						if st.Equate(a, b) != nil {
+							return false
+						}
+						if !it.Pat.Wildcard {
+							if st.Bind(a, it.Pat.Const) != nil {
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		if st.Version() == before {
+			return true
+		}
+	}
+}
+
+func (s *refSession) premiseHolds(st *sym.State, cc refCompiled, t1, t2 []sym.Term) bool {
+	for k, it := range cc.c.LHS {
+		a := st.Resolve(t1[cc.lhs[k]])
+		b := st.Resolve(t2[cc.lhs[k]])
+		if a.IsVar != b.IsVar {
+			return false
+		}
+		if a.IsVar {
+			if a.Var != b.Var || !it.Pat.Wildcard {
+				return false
+			}
+		} else if a.Const != b.Const || !it.Pat.Matches(a.Const) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *refSession) template(n int, shared map[int]cfd.Pattern) (*sym.State, [][]sym.Term, error) {
+	st := sym.NewState()
+	rows := make([][]sym.Term, n)
+	sharedVar := make(map[int]sym.Term, len(shared))
+	for r := 0; r < n; r++ {
+		row := make([]sym.Term, len(s.u.Attrs))
+		for i, a := range s.u.Attrs {
+			if pat, ok := shared[i]; ok {
+				if !pat.Wildcard {
+					if !a.Domain.Contains(pat.Const) {
+						return nil, nil, fmt.Errorf("implication: constant %q outside domain of %s", pat.Const, a.Name)
+					}
+					row[i] = sym.Constant(pat.Const)
+					continue
+				}
+				v, have := sharedVar[i]
+				if !have {
+					v = st.NewVar(a.Domain)
+					sharedVar[i] = v
+				}
+				row[i] = v
+				continue
+			}
+			row[i] = st.NewVar(a.Domain)
+		}
+		rows[r] = row
+	}
+	return st, rows, nil
+}
+
+func (s *refSession) implies(phi *cfd.CFD) (bool, error) {
+	if phi.Equality {
+		a, ok1 := s.u.pos(phi.LHS[0].Attr)
+		b, ok2 := s.u.pos(phi.RHS[0].Attr)
+		if !ok1 || !ok2 {
+			return false, fmt.Errorf("implication: %s outside universe", phi)
+		}
+		if a == b {
+			return true, nil
+		}
+		st, rows, err := s.template(1, nil)
+		if err != nil {
+			return false, err
+		}
+		if !s.chase(st, rows) {
+			return true, nil
+		}
+		return st.SameTerm(rows[0][a], rows[0][b]), nil
+	}
+	shared := make(map[int]cfd.Pattern, len(phi.LHS))
+	for _, it := range phi.LHS {
+		p, ok := s.u.pos(it.Attr)
+		if !ok {
+			return false, fmt.Errorf("implication: %s outside universe", phi)
+		}
+		shared[p] = it.Pat
+	}
+	rhs := phi.RHS[0]
+	ai, ok := s.u.pos(rhs.Attr)
+	if !ok {
+		return false, fmt.Errorf("implication: %s outside universe", phi)
+	}
+	st, rows, err := s.template(2, shared)
+	if err != nil {
+		return false, err
+	}
+	if !s.chase(st, rows) {
+		return true, nil
+	}
+	a1 := st.Resolve(rows[0][ai])
+	a2 := st.Resolve(rows[1][ai])
+	if !st.SameTerm(a1, a2) {
+		return false, nil
+	}
+	if rhs.Pat.Wildcard {
+		return true, nil
+	}
+	return !a1.IsVar && a1.Const == rhs.Pat.Const, nil
+}
+
+// diffWorkload builds one randomized (universe, Σ, φ-pool) triple. varPct
+// sweeps the pattern mix from pure FDs (the exact closure fast path)
+// through mixed CFDs to all-constant patterns; equality CFDs are injected
+// to exercise the component analysis.
+func diffWorkload(seed int64, varPct int) (Universe, []*cfd.CFD, []*cfd.CFD) {
+	rng := rand.New(rand.NewSource(seed))
+	db := gen.Schema(rng, gen.SchemaParams{NumRelations: 1, MinAttrs: 8, MaxAttrs: 12})
+	s := db.Relations()[0]
+	sigma := gen.CFDs(rng, db, gen.CFDParams{Num: 24, LHSMin: 2, LHSMax: 5, VarPct: varPct})
+	for i := 0; i < 2; i++ {
+		if rng.Intn(2) == 0 {
+			a := s.Attrs[rng.Intn(s.Arity())].Name
+			b := s.Attrs[rng.Intn(s.Arity())].Name
+			sigma = append(sigma, cfd.NewEquality(s.Name, a, b))
+		}
+	}
+	phis := gen.CFDs(rng, db, gen.CFDParams{Num: 40, LHSMin: 1, LHSMax: 4, VarPct: varPct})
+	for i := 0; i < 4; i++ {
+		a := s.Attrs[rng.Intn(s.Arity())].Name
+		b := s.Attrs[rng.Intn(s.Arity())].Name
+		phis = append(phis, cfd.NewEquality(s.Name, a, b))
+	}
+	return UniverseOf(s), cfd.NormalizeAll(sigma), cfd.NormalizeAll(phis)
+}
+
+// TestWorklistMatchesReferenceChase proves the worklist engine (including
+// its closure fast path) equivalent to the reference full-rescan chase on
+// well over 1000 randomized implication instances.
+func TestWorklistMatchesReferenceChase(t *testing.T) {
+	compared := 0
+	for seed := int64(0); seed < 12; seed++ {
+		for _, varPct := range []int{1, 50, 100} {
+			u, sigma, phis := diffWorkload(seed*100+int64(varPct), varPct)
+			ref, err := newRefSession(u, sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := newSession(u, sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, phi := range phis {
+				want, err := ref.implies(phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sess.implies(phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("seed %d var%%=%d: worklist says %v, reference says %v for %s under %v",
+						seed, varPct, got, want, phi, sigma)
+				}
+				// The public one-shot path exercises the chase.Inst
+				// worklist over the mentioned-attribute template.
+				got2, err := Implies(u, sigma, phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got2 != want {
+					t.Fatalf("seed %d var%%=%d: public Implies says %v, reference says %v for %s",
+						seed, varPct, got2, want, phi)
+				}
+				compared++
+			}
+		}
+	}
+	if compared < 1000 {
+		t.Fatalf("only %d differential comparisons ran; want >= 1000", compared)
+	}
+}
+
+// TestEqualitySeedEnablesConstantPattern is the regression case for a
+// worklist seeding bug: the equality CFD A == B propagates φ's template
+// constant at A onto B during seeding, which is what enables [B=x] → [C=y]
+// — so the seed-phase journal must be drained, not discarded.
+func TestEqualitySeedEnablesConstantPattern(t *testing.T) {
+	u := InfiniteUniverse("V", "A", "B", "C")
+	sigma := []*cfd.CFD{
+		cfd.NewEquality("V", "A", "B"),
+		cfd.MustParse(`V([B=x] -> [C=y])`),
+	}
+	phi := cfd.MustParse(`V([A=x] -> [C=y])`)
+	ref, err := newRefSession(u, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.implies(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want {
+		t.Fatal("reference engine must derive the implication")
+	}
+	sess, err := newSession(u, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.implies(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("worklist engine must match the reference: equality seeding events were dropped")
+	}
+}
+
+// TestMinCoverMatchesReference checks, with the reference engine as the
+// oracle, that the tombstone-based MinCover output is equivalent to its
+// input Σ.
+func TestMinCoverMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, varPct := range []int{30, 100} {
+			u, sigma, _ := diffWorkload(seed*7+int64(varPct), varPct)
+			cover, err := MinCover(u, sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refCover, err := newRefSession(u, cover)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refSigma, err := newRefSession(u, sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range sigma {
+				if c.IsTrivial() {
+					continue
+				}
+				ok, err := refCover.implies(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("seed %d var%%=%d: cover %v does not imply original %s", seed, varPct, cover, c)
+				}
+			}
+			for _, c := range cover {
+				ok, err := refSigma.implies(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("seed %d var%%=%d: original Σ does not imply cover member %s", seed, varPct, c)
+				}
+			}
+		}
+	}
+}

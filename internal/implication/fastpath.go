@@ -1,0 +1,286 @@
+package implication
+
+import "cfdprop/internal/cfd"
+
+// fastPath decides (or cheaply rejects) implication queries without
+// chasing, via the classical attribute-set closure over the wildcard-FD
+// skeleton of Σ.
+//
+// Two regimes, both restricted to infinite-domain universes:
+//
+//   - Exact: when every alive CFD is a plain FD (all-wildcard patterns, no
+//     equality CFDs), the two-row chase makes the rows equal exactly on the
+//     positions in closure(X) — the textbook result — so Σ |= (X → A, tp)
+//     is decided outright.
+//
+//   - Reject: for general Σ, a sound over-approximation of every column
+//     equality the chase could derive is closed over: the FD skeleton of
+//     each standard CFD (pattern match requirements dropped), both
+//     directions of each equality CFD, and the RHS column of every
+//     constant-RHS CFD that could possibly fire (both rows bound to the
+//     same constant makes them equal without any class merge). "Possibly
+//     fire" is itself a fixpoint over the potential constant per
+//     equality-linked column component; if a component could see two
+//     distinct constants the chase might conflict (making φ vacuously
+//     implied), so the filter abstains. When the RHS position is outside
+//     the closure, the rows provably never agree on it and φ is not
+//     implied — without running the chase.
+//
+// The session's differential test cross-checks both regimes against the
+// reference full-rescan engine.
+type fastPath struct {
+	dirty bool // Σ, tombstones, or skip changed: rebuild cached views
+
+	// Cached per Σ-state:
+	allFD   bool
+	eqPairs [][2]int32 // alive equality CFDs as position pairs
+	parent  []int32    // scratch union-find over positions
+	comp    []int32    // position -> equality-component representative
+
+	// Pooled per-query buffers:
+	inClo     []bool
+	cloQ      []int32
+	missing   []int32 // per CFD: LHS positions not yet in the closure; -1 = inactive
+	fired     []bool
+	compConst []string
+	compHas   []bool
+}
+
+func (fp *fastPath) find(p int32) int32 {
+	for fp.parent[p] != p {
+		fp.parent[p] = fp.parent[fp.parent[p]]
+		p = fp.parent[p]
+	}
+	return p
+}
+
+// rebuild refreshes the cached Σ views: the all-FD flag, the alive
+// equality edges, and the equality-component labeling of positions.
+func (fp *fastPath) rebuild(s *session) {
+	n := len(s.u.Attrs)
+	fp.allFD = true
+	fp.eqPairs = fp.eqPairs[:0]
+	if cap(fp.parent) < n {
+		fp.parent = make([]int32, n)
+		fp.comp = make([]int32, n)
+	} else {
+		fp.parent = fp.parent[:n]
+		fp.comp = fp.comp[:n]
+	}
+	for i := range fp.parent {
+		fp.parent[i] = int32(i)
+	}
+	for i := range s.sigma {
+		if !s.alive(i) {
+			continue
+		}
+		cc := &s.sigma[i]
+		if cc.c.Equality {
+			fp.allFD = false
+			a, b := int32(cc.lhs[0]), int32(cc.rhs[0])
+			fp.eqPairs = append(fp.eqPairs, [2]int32{a, b})
+			fp.parent[fp.find(a)] = fp.find(b)
+		} else if !cc.isFD {
+			fp.allFD = false
+		}
+	}
+	for p := range fp.comp {
+		fp.comp[p] = fp.find(int32(p))
+	}
+	fp.dirty = false
+}
+
+// prepare sizes and clears the per-query buffers.
+func (fp *fastPath) prepare(s *session) {
+	n := len(s.u.Attrs)
+	if cap(fp.inClo) < n {
+		fp.inClo = make([]bool, n)
+		fp.compConst = make([]string, n)
+		fp.compHas = make([]bool, n)
+	} else {
+		fp.inClo = fp.inClo[:n]
+		fp.compConst = fp.compConst[:n]
+		fp.compHas = fp.compHas[:n]
+		for i := 0; i < n; i++ {
+			fp.inClo[i] = false
+			fp.compHas[i] = false
+		}
+	}
+	m := len(s.sigma)
+	if cap(fp.missing) < m {
+		fp.missing = make([]int32, m)
+		fp.fired = make([]bool, m)
+	} else {
+		fp.missing = fp.missing[:m]
+		fp.fired = fp.fired[:m]
+	}
+	fp.cloQ = fp.cloQ[:0]
+}
+
+// addClo adds a position to the closure set and propagation queue.
+func (fp *fastPath) addClo(p int32) {
+	if !fp.inClo[p] {
+		fp.inClo[p] = true
+		fp.cloQ = append(fp.cloQ, p)
+	}
+}
+
+// propagate closes inClo under the skeleton FDs (counter algorithm over
+// the session's LHS-position index) and the equality edges.
+func (fp *fastPath) propagate(s *session) {
+	for qh := 0; qh < len(fp.cloQ); qh++ {
+		p := fp.cloQ[qh]
+		for _, ci := range s.colCFDs[s.colStart[p]:s.colStart[p+1]] {
+			if fp.missing[ci] > 0 {
+				fp.missing[ci]--
+				if fp.missing[ci] == 0 {
+					fp.addClo(int32(s.sigma[ci].rhs[0]))
+				}
+			}
+		}
+		for _, e := range fp.eqPairs {
+			if e[0] == p {
+				fp.addClo(e[1])
+			} else if e[1] == p {
+				fp.addClo(e[0])
+			}
+		}
+	}
+}
+
+// addCompConst records a potential constant for a column component,
+// reporting false when the component could now see two distinct constants
+// (a potential chase conflict).
+func (fp *fastPath) addCompConst(q int32, c string) bool {
+	if !fp.compHas[q] {
+		fp.compHas[q] = true
+		fp.compConst[q] = c
+		return true
+	}
+	return fp.compConst[q] == c
+}
+
+// fastImpliesEquality handles equality queries t[A] = t[B] with A ≠ B:
+// under pure FDs the single-row chase equates nothing across columns.
+func (s *session) fastImpliesEquality() (decided, result bool) {
+	if s.anyFinite {
+		return false, false
+	}
+	if s.fp.dirty {
+		s.fp.rebuild(s)
+	}
+	if s.fp.allFD {
+		return true, false
+	}
+	return false, false
+}
+
+// fastImplies attempts to decide Σ |= φ for a standard normal-form φ whose
+// LHS patterns are already loaded into sharedOn/sharedPat. It returns
+// decided=false when the full chase must run.
+func (s *session) fastImplies(phi *cfd.CFD, rhsPos int) (decided, result bool) {
+	if s.anyFinite {
+		return false, false
+	}
+	fp := &s.fp
+	if fp.dirty {
+		fp.rebuild(s)
+	}
+	if s.idxDirty {
+		s.buildColIndex()
+	}
+	fp.prepare(s)
+
+	// Arm the skeleton counters; empty-LHS CFDs fire immediately.
+	for i := range s.sigma {
+		cc := &s.sigma[i]
+		if !s.alive(i) || cc.c.Equality {
+			fp.missing[i] = -1
+			continue
+		}
+		fp.missing[i] = int32(len(cc.lhs))
+	}
+
+	// Seed with φ's LHS positions.
+	for i, on := range s.sharedOn {
+		if on {
+			fp.addClo(int32(i))
+		}
+	}
+
+	rhs := phi.RHS[0]
+	if fp.allFD {
+		// Exact regime: no constants, no equality CFDs, no conflicts. The
+		// chase equates the rows exactly on closure(X); an RHS column term
+		// is a constant only when φ itself pins it on the LHS.
+		for i := range s.sigma {
+			if fp.missing[i] == 0 {
+				fp.addClo(int32(s.sigma[i].rhs[0]))
+			}
+		}
+		fp.propagate(s)
+		if !fp.inClo[rhsPos] {
+			return true, false
+		}
+		if rhs.Pat.Wildcard {
+			return true, true
+		}
+		return true, s.sharedOn[rhsPos] && !s.sharedPat[rhsPos].Wildcard &&
+			s.sharedPat[rhsPos].Const == rhs.Pat.Const
+	}
+
+	// Reject regime. First over-approximate which constant-RHS CFDs could
+	// possibly fire, tracking one potential constant per equality-linked
+	// column component; two distinct constants in a component could make
+	// the chase conflict (φ vacuously implied), so abstain.
+	for i, on := range s.sharedOn {
+		if on && !s.sharedPat[i].Wildcard {
+			if !fp.addCompConst(fp.comp[i], s.sharedPat[i].Const) {
+				return false, false
+			}
+		}
+	}
+	for i := range fp.fired {
+		fp.fired[i] = false
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range s.sigma {
+			cc := &s.sigma[i]
+			if fp.missing[i] < 0 || !cc.constRHS || fp.fired[i] {
+				continue
+			}
+			ok := true
+			for k, it := range cc.c.LHS {
+				if it.Pat.Wildcard {
+					continue // matched by any single row
+				}
+				q := fp.comp[cc.lhs[k]]
+				if !fp.compHas[q] || fp.compConst[q] != it.Pat.Const {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			fp.fired[i] = true
+			changed = true
+			if !fp.addCompConst(fp.comp[cc.rhs[0]], cc.c.RHS[0].Pat.Const) {
+				return false, false
+			}
+		}
+	}
+	// A fired constant-RHS CFD can bind both rows to the same constant,
+	// equating its RHS column without any class merge.
+	for i := range s.sigma {
+		if fp.missing[i] == 0 || (fp.missing[i] > 0 && fp.fired[i]) {
+			fp.addClo(int32(s.sigma[i].rhs[0]))
+		}
+	}
+	fp.propagate(s)
+	if !fp.inClo[rhsPos] {
+		return true, false // rows provably never agree on the RHS column
+	}
+	return false, false
+}

@@ -9,6 +9,38 @@
 // complete and runs in polynomial time, matching the quadratic-time result
 // of [8]; with finite domains the *General variants enumerate instantiations
 // of finite-domain variables (the problem is coNP-complete, [8]).
+//
+// # Architecture: sessions, worklist chase, closure fast path
+//
+// The hot path — MinCover and RBR issue O(|Σ|²) implication tests against
+// one Σ — runs through Session (session.go), an incremental engine that
+// compiles Σ once per universe and answers queries without per-call
+// allocation:
+//
+//   - Worklist chase. Compiled CFDs are indexed by the universe positions
+//     their LHS mentions (a CSR table). The shared sym.State journals every
+//     class change (sym.Event: a bind or a union), and only the CFDs whose
+//     LHS touches a changed class re-enter the worklist — premises are
+//     monotone, so this finds every newly-enabled firing without the
+//     version-counter full rescans of the reference engine (kept as the
+//     oracle in differential_test.go).
+//
+//   - Pooled templates. One sym.State plus fixed row buffers are reset
+//     (epoch-style, capacity-preserving) per query; steady-state queries
+//     are allocation-free (TestImpliesSessionAllocationFree).
+//
+//   - Closure fast path (fastpath.go). Over infinite-domain universes, the
+//     attribute-set closure of the wildcard-FD skeleton of Σ decides the
+//     all-FD case exactly without chasing, and for general Σ soundly
+//     rejects non-implications whose RHS position is unreachable in an
+//     over-approximated closure — provided a per-column-component constant
+//     analysis rules out chase conflicts. It abstains (and the full chase
+//     runs) whenever finite domains, a potential constant clash, or a
+//     reachable RHS make the cheap answer unsafe.
+//
+//   - Tombstoned MinCover. The redundancy phase excludes one candidate via
+//     a skip mask and kills redundant CFDs with a dead mask, instead of
+//     copying the compiled Σ per candidate.
 package implication
 
 import (

@@ -4,6 +4,51 @@ import (
 	"cfdprop/internal/cfd"
 )
 
+// Session is the reusable public face of the implication engine: one
+// compiled universe with pooled chase state, worklist indexes and closure
+// buffers, shared across many queries and MinCover calls. Callers that
+// issue repeated implication work against the same relation — RBR's
+// block-wise pruning, the final MinCover, the closure-baseline comparisons,
+// Equivalent — should hold one Session instead of paying per-call
+// compilation and allocation. Sessions assume the infinite-domain setting
+// of §4 (finite-domain attributes are tolerated but disable the fast path)
+// and are not safe for concurrent use.
+type Session struct{ inner *session }
+
+// NewSession builds an empty session over the universe; load Σ with
+// SetSigma or run MinCover directly.
+func NewSession(u Universe) *Session {
+	s, err := newSession(u, nil)
+	if err != nil {
+		panic(err) // unreachable: an empty Σ cannot fail compilation
+	}
+	return &Session{inner: s}
+}
+
+// SetSigma compiles Σ into the session: CFDs on other relations are
+// dropped, the rest are normalized and validated against the universe.
+func (s *Session) SetSigma(sigma []*cfd.CFD) error {
+	return s.inner.setSigma(cfd.NormalizeAll(sigma))
+}
+
+// Implies reports whether the compiled Σ implies φ (infinite-domain
+// setting). Multi-RHS φ are normalized on the fly.
+func (s *Session) Implies(phi *cfd.CFD) (bool, error) {
+	if err := s.inner.u.checkCFD(phi); err != nil {
+		return false, err
+	}
+	if phi.Equality || len(phi.RHS) == 1 {
+		return s.inner.implies(phi)
+	}
+	for _, p := range phi.Normalize() {
+		ok, err := s.inner.implies(p)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
 // MinCover computes a minimal cover of Σ (all CFDs on the universe's
 // relation) per §4.1 of the paper: the result is equivalent to Σ, contains
 // only nontrivial normal-form CFDs, has no CFD with a redundant LHS
@@ -17,14 +62,15 @@ import (
 //     is preserved);
 //  3. drop CFDs implied by the remaining ones.
 //
-// Complexity is O(|Σ|²) implication tests, each polynomial, matching the
-// O(|Σ|³) bound the paper quotes for MinCover of [8]. Σ is compiled once
-// into an internal session so the tests share validation and indexing.
-func MinCover(u Universe, sigma []*cfd.CFD) ([]*cfd.CFD, error) {
-	u = u.indexed()
+// Complexity is O(|Σ|²) implication tests, matching the O(|Σ|³) bound the
+// paper quotes for MinCover of [8] — but each test goes through the
+// session's closure fast path and worklist chase, and the redundancy phase
+// tombstones candidates in place instead of copying the compiled Σ.
+func (s *Session) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
+	sess := s.inner
 	work := make([]*cfd.CFD, 0, len(sigma))
 	for _, c := range cfd.NormalizeAll(sigma) {
-		if c.Relation != u.Relation {
+		if c.Relation != sess.u.Relation {
 			continue
 		}
 		if c.IsTrivial() {
@@ -33,12 +79,15 @@ func MinCover(u Universe, sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 		work = append(work, c.Clone())
 	}
 	work = cfd.Dedup(work)
-	sess, err := newSession(u, work)
-	if err != nil {
+	if err := sess.setSigma(work); err != nil {
 		return nil, err
 	}
 
-	// Left-reduction.
+	// Left-reduction. Candidates are probed through one scratch CFD (the
+	// engine never retains φ) and only materialized on success — most
+	// probes fail, and cloning each of them dominated the allocation
+	// profile.
+	probe := &cfd.CFD{}
 	for i, c := range work {
 		if c.Equality {
 			continue
@@ -47,16 +96,19 @@ func MinCover(u Universe, sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 		for changed && len(c.LHS) > 0 {
 			changed = false
 			for j := range c.LHS {
-				reduced := c.Clone()
-				reduced.LHS = append(reduced.LHS[:j], reduced.LHS[j+1:]...)
-				if reduced.IsTrivial() {
+				probe.Relation = c.Relation
+				probe.LHS = append(probe.LHS[:0], c.LHS[:j]...)
+				probe.LHS = append(probe.LHS, c.LHS[j+1:]...)
+				probe.RHS = c.RHS
+				if probe.IsTrivial() {
 					continue
 				}
-				ok, err := sess.implies(reduced)
+				ok, err := sess.implies(probe)
 				if err != nil {
 					return nil, err
 				}
 				if ok {
+					reduced := probe.Clone()
 					work[i] = reduced
 					if err := sess.replaceCompiled(i, reduced); err != nil {
 						return nil, err
@@ -69,46 +121,61 @@ func MinCover(u Universe, sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 		}
 	}
 	work = cfd.Dedup(work)
-	sess, err = newSession(u, work) // realign after dedup
-	if err != nil {
+	if err := sess.setSigma(work); err != nil { // realign after dedup
 		return nil, err
 	}
 
-	// Redundancy elimination.
-	for i := 0; i < len(work); i++ {
-		rest := sess.dropCompiled(i)
-		ok, err := rest.implies(work[i])
+	// Redundancy elimination: exclude one candidate at a time via the skip
+	// mask, and tombstone it when the survivors imply it.
+	for i := range work {
+		sess.setSkip(i)
+		ok, err := sess.implies(work[i])
 		if err != nil {
+			sess.setSkip(-1)
 			return nil, err
 		}
 		if ok {
-			work = append(work[:i], work[i+1:]...)
-			sess = rest
-			i--
+			sess.markDead(i)
 		}
 	}
-	return work, nil
+	sess.setSkip(-1)
+	out := work[:0]
+	for i, c := range work {
+		if !sess.dead[i] {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// MinCover is the one-shot form of Session.MinCover.
+func MinCover(u Universe, sigma []*cfd.CFD) ([]*cfd.CFD, error) {
+	return NewSession(u).MinCover(sigma)
 }
 
 // Equivalent reports whether two CFD sets over the universe imply each
-// other (used by tests and the closure baseline comparison).
+// other (used by tests and the closure baseline comparison). Each set is
+// compiled once into a session so the per-direction query loops share
+// state.
 func Equivalent(u Universe, a, b []*cfd.CFD) (bool, error) {
+	sa := NewSession(u)
+	if err := sa.SetSigma(a); err != nil {
+		return false, err
+	}
 	for _, c := range b {
-		ok, err := Implies(u, a, c)
-		if err != nil {
+		ok, err := sa.Implies(c)
+		if err != nil || !ok {
 			return false, err
-		}
-		if !ok {
-			return false, nil
 		}
 	}
+	sb := NewSession(u)
+	if err := sb.SetSigma(b); err != nil {
+		return false, err
+	}
 	for _, c := range a {
-		ok, err := Implies(u, b, c)
-		if err != nil {
+		ok, err := sb.Implies(c)
+		if err != nil || !ok {
 			return false, err
-		}
-		if !ok {
-			return false, nil
 		}
 	}
 	return true, nil

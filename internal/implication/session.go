@@ -4,130 +4,335 @@ import (
 	"fmt"
 
 	"cfdprop/internal/cfd"
-	"cfdprop/internal/rel"
 	"cfdprop/internal/sym"
 )
 
-// session precompiles a set Σ against a universe so that many implication
-// queries (as issued by MinCover and RBR) avoid revalidating and
-// re-indexing Σ on every call. Rows are slices indexed by universe
-// position; the chase is the same two-tuple procedure as the public
-// Implies, just without per-call map traffic.
+// session is the incremental implication engine behind Implies-style
+// queries: Σ is compiled once against the universe and indexed by the
+// attribute positions its LHSs mention, and every query reuses one pooled
+// sym.State and row buffers instead of allocating a template per call.
+// The two-row chase is worklist-driven: the state journals which classes
+// change (sym.Event) and only the CFDs whose LHS touches a changed class
+// are re-examined, instead of rescanning all of Σ per fixpoint round.
+//
+// MinCover's redundancy phase tombstones CFDs (dead) and temporarily
+// excludes one candidate (skip) instead of copying the compiled slice.
 type session struct {
 	u     Universe
 	sigma []compiledCFD
+	dead  []bool // tombstoned CFDs are ignored by every query
+	skip  int    // index temporarily excluded from Σ; -1 for none
+
+	anyFinite bool // some universe attribute has a finite domain
+
+	// byCol is a CSR index: colCFDs[colStart[p]:colStart[p+1]] lists the
+	// standard (non-equality) CFDs whose LHS mentions universe position p.
+	// It indexes dead CFDs too (filtered at use), so only replaceCompiled
+	// and setSigma dirty it.
+	colStart []int32
+	colCFDs  []int32
+	idxDirty bool
+
+	// Pooled chase machinery, reused across implies calls.
+	st     *sym.State
+	rowBuf [][]sym.Term
+	queue  []int32
+	inQ    []bool
+
+	// Pooled per-call φ-LHS pattern table, keyed by universe position.
+	// Invariant between calls: sharedOn is all-false.
+	sharedOn  []bool
+	sharedPat []cfd.Pattern
+
+	fp fastPath
 }
 
 type compiledCFD struct {
-	c   *cfd.CFD
-	lhs []int // universe positions of LHS attrs
-	rhs []int // universe positions of RHS attrs
+	c        *cfd.CFD
+	lhs      []int // universe positions of LHS attrs
+	rhs      []int // universe positions of RHS attrs
+	isFD     bool  // standard CFD with all-wildcard patterns
+	constRHS bool  // standard CFD with a constant RHS pattern
 }
 
 // newSession validates and compiles sigma (already normalized; CFDs on
 // other relations are skipped).
 func newSession(u Universe, sigma []*cfd.CFD) (*session, error) {
 	u = u.indexed()
-	s := &session{u: u}
-	for _, c := range sigma {
-		if c.Relation != u.Relation {
-			continue
+	n := len(u.Attrs)
+	s := &session{u: u, skip: -1, st: sym.NewState()}
+	s.st.TrackEvents(true)
+	s.rowBuf = make([][]sym.Term, 2)
+	for i := range s.rowBuf {
+		s.rowBuf[i] = make([]sym.Term, n)
+	}
+	s.sharedOn = make([]bool, n)
+	s.sharedPat = make([]cfd.Pattern, n)
+	for _, a := range u.Attrs {
+		if a.Domain.Finite {
+			s.anyFinite = true
+			break
 		}
-		cc := compiledCFD{c: c}
-		ok := true
-		for _, it := range c.LHS {
-			i, found := u.pos(it.Attr)
-			if !found {
-				ok = false
-				break
-			}
-			cc.lhs = append(cc.lhs, i)
-		}
-		for _, it := range c.RHS {
-			i, found := u.pos(it.Attr)
-			if !found {
-				ok = false
-				break
-			}
-			cc.rhs = append(cc.rhs, i)
-		}
-		if !ok {
-			return nil, fmt.Errorf("implication: %s mentions attributes outside the universe", c)
-		}
-		s.sigma = append(s.sigma, cc)
+	}
+	if err := s.setSigma(sigma); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
 
-// dropCompiled returns a copy of the session without the i-th compiled CFD
-// (sharing the rest) — used by MinCover's redundancy phase.
-func (s *session) dropCompiled(i int) *session {
-	out := &session{u: s.u}
-	out.sigma = make([]compiledCFD, 0, len(s.sigma)-1)
-	out.sigma = append(out.sigma, s.sigma[:i]...)
-	out.sigma = append(out.sigma, s.sigma[i+1:]...)
-	return out
+// compile resolves a CFD's attribute positions and classifies it. Both
+// position slices share one backing array.
+func (s *session) compile(c *cfd.CFD) (compiledCFD, error) {
+	cc := compiledCFD{c: c}
+	buf := make([]int, len(c.LHS)+len(c.RHS))
+	for k, it := range c.LHS {
+		i, found := s.u.pos(it.Attr)
+		if !found {
+			return cc, fmt.Errorf("implication: %s mentions attributes outside the universe", c)
+		}
+		buf[k] = i
+	}
+	for k, it := range c.RHS {
+		i, found := s.u.pos(it.Attr)
+		if !found {
+			return cc, fmt.Errorf("implication: %s mentions attributes outside the universe", c)
+		}
+		buf[len(c.LHS)+k] = i
+	}
+	cc.lhs = buf[:len(c.LHS):len(c.LHS)]
+	cc.rhs = buf[len(c.LHS):]
+	if !c.Equality {
+		cc.isFD = c.IsFD()
+		cc.constRHS = !c.RHS[0].Pat.Wildcard
+	}
+	return cc, nil
+}
+
+// setSigma (re)compiles sigma into the session, reusing pooled buffers.
+// CFDs on other relations are skipped, so when the caller prefilters to the
+// universe's relation (as MinCover does), compiled indices align with the
+// input slice.
+func (s *session) setSigma(sigma []*cfd.CFD) error {
+	s.sigma = s.sigma[:0]
+	for _, c := range sigma {
+		if c.Relation != s.u.Relation {
+			continue
+		}
+		cc, err := s.compile(c)
+		if err != nil {
+			return err
+		}
+		s.sigma = append(s.sigma, cc)
+	}
+	if cap(s.dead) < len(s.sigma) {
+		s.dead = make([]bool, len(s.sigma))
+	} else {
+		s.dead = s.dead[:len(s.sigma)]
+		for i := range s.dead {
+			s.dead[i] = false
+		}
+	}
+	s.skip = -1
+	s.idxDirty = true
+	s.fp.dirty = true
+	return nil
+}
+
+// alive reports whether the i-th compiled CFD participates in queries.
+func (s *session) alive(i int) bool { return !s.dead[i] && i != s.skip }
+
+// setSkip temporarily excludes one compiled CFD (-1 for none) — MinCover's
+// redundancy phase tests "Σ − {φ} |= φ" this way.
+func (s *session) setSkip(i int) {
+	s.skip = i
+	s.fp.dirty = true
+}
+
+// markDead tombstones the i-th compiled CFD — used by MinCover's
+// redundancy phase instead of copying the compiled slice per candidate.
+func (s *session) markDead(i int) {
+	s.dead[i] = true
+	s.fp.dirty = true
 }
 
 // replaceCompiled swaps the i-th CFD for a recompiled one.
 func (s *session) replaceCompiled(i int, c *cfd.CFD) error {
-	cc := compiledCFD{c: c}
-	for _, it := range c.LHS {
-		p, ok := s.u.pos(it.Attr)
-		if !ok {
-			return fmt.Errorf("implication: %s mentions attribute outside the universe", c)
-		}
-		cc.lhs = append(cc.lhs, p)
-	}
-	for _, it := range c.RHS {
-		p, ok := s.u.pos(it.Attr)
-		if !ok {
-			return fmt.Errorf("implication: %s mentions attribute outside the universe", c)
-		}
-		cc.rhs = append(cc.rhs, p)
+	cc, err := s.compile(c)
+	if err != nil {
+		return err
 	}
 	s.sigma[i] = cc
+	s.idxDirty = true
+	s.fp.dirty = true
 	return nil
 }
 
-// chase runs the two-row (or one-row) chase to fixpoint. Returns false
-// when the chase is undefined (conflict), meaning the premise cannot be
-// realized under Σ.
-func (s *session) chase(st *sym.State, rows [][]sym.Term) bool {
-	for {
-		before := st.Version()
-		for _, cc := range s.sigma {
-			if cc.c.Equality {
-				for _, r := range rows {
-					if st.Equate(r[cc.lhs[0]], r[cc.rhs[0]]) != nil {
-						return false
-					}
-				}
-				continue
-			}
-			for i := range rows {
-				for j := i; j < len(rows); j++ {
-					if !s.premiseHolds(st, cc, rows[i], rows[j]) {
-						continue
-					}
-					for k, it := range cc.c.RHS {
-						a, b := rows[i][cc.rhs[k]], rows[j][cc.rhs[k]]
-						if st.Equate(a, b) != nil {
-							return false
-						}
-						if !it.Pat.Wildcard {
-							if st.Bind(a, it.Pat.Const) != nil {
-								return false
-							}
-						}
-					}
-				}
-			}
-		}
-		if st.Version() == before {
-			return true
+// buildColIndex rebuilds the LHS-position CSR index.
+func (s *session) buildColIndex() {
+	n := len(s.u.Attrs)
+	if cap(s.colStart) < n+1 {
+		s.colStart = make([]int32, n+1)
+	} else {
+		s.colStart = s.colStart[:n+1]
+		for i := range s.colStart {
+			s.colStart[i] = 0
 		}
 	}
+	total := 0
+	for _, cc := range s.sigma {
+		if cc.c.Equality {
+			continue
+		}
+		for _, p := range cc.lhs {
+			s.colStart[p+1]++
+		}
+		total += len(cc.lhs)
+	}
+	for p := 0; p < n; p++ {
+		s.colStart[p+1] += s.colStart[p]
+	}
+	if cap(s.colCFDs) < total {
+		s.colCFDs = make([]int32, total)
+	} else {
+		s.colCFDs = s.colCFDs[:total]
+	}
+	// Fill using colStart as cursors, then shift back.
+	for i, cc := range s.sigma {
+		if cc.c.Equality {
+			continue
+		}
+		for _, p := range cc.lhs {
+			s.colCFDs[s.colStart[p]] = int32(i)
+			s.colStart[p]++
+		}
+	}
+	for p := n; p > 0; p-- {
+		s.colStart[p] = s.colStart[p-1]
+	}
+	s.colStart[0] = 0
+	s.idxDirty = false
+}
+
+// chase runs the two-row (or one-row) worklist chase to fixpoint. Returns
+// false when the chase is undefined (conflict), meaning the premise cannot
+// be realized under Σ.
+func (s *session) chase(rows [][]sym.Term) bool {
+	st := s.st
+	if s.idxDirty {
+		s.buildColIndex()
+	}
+	if cap(s.inQ) < len(s.sigma) {
+		s.inQ = make([]bool, len(s.sigma))
+	} else {
+		s.inQ = s.inQ[:len(s.sigma)]
+		for i := range s.inQ {
+			s.inQ[i] = false
+		}
+	}
+	s.queue = s.queue[:0]
+
+	// Seed. Equality CFDs are applied once up front: equating t[A] and
+	// t[B] is idempotent, so they never need re-examination. A standard CFD
+	// enters the seed only when its premise is initially determinable: every
+	// constant LHS pattern must be pinned by a matching template constant
+	// (wildcard positions hold trivially for the single-tuple case). Any
+	// other premise requires a class to change first — a bind or union on a
+	// mentioned column — and the change journal enqueues the CFD then.
+	for i := range s.sigma {
+		if !s.alive(i) {
+			continue
+		}
+		cc := &s.sigma[i]
+		if cc.c.Equality {
+			for _, r := range rows {
+				if st.Equate(r[cc.lhs[0]], r[cc.rhs[0]]) != nil {
+					return false
+				}
+			}
+			continue
+		}
+		seed := true
+		for k, it := range cc.c.LHS {
+			if it.Pat.Wildcard {
+				continue
+			}
+			p := cc.lhs[k]
+			if !s.sharedOn[p] || s.sharedPat[p].Wildcard || s.sharedPat[p].Const != it.Pat.Const {
+				seed = false
+				break
+			}
+		}
+		if seed {
+			s.inQ[i] = true
+			s.queue = append(s.queue, int32(i))
+		}
+	}
+	// The equality seeding can merge classes and — through template
+	// constants — bind them, enabling constant-pattern CFDs that were not
+	// seeded. Drain its journal like any other application's.
+	s.drainEvents(rows)
+
+	for qh := 0; qh < len(s.queue); qh++ {
+		i := s.queue[qh]
+		s.inQ[i] = false
+		if !s.alive(int(i)) {
+			continue
+		}
+		cc := &s.sigma[i]
+		for a := range rows {
+			for b := a; b < len(rows); b++ {
+				if !s.premiseHolds(st, *cc, rows[a], rows[b]) {
+					continue
+				}
+				for k, it := range cc.c.RHS {
+					x, y := rows[a][cc.rhs[k]], rows[b][cc.rhs[k]]
+					if st.Equate(x, y) != nil {
+						return false
+					}
+					if !it.Pat.Wildcard {
+						if st.Bind(x, it.Pat.Const) != nil {
+							return false
+						}
+					}
+				}
+			}
+		}
+		s.drainEvents(rows)
+	}
+	return true
+}
+
+// drainEvents empties the state's change journal, re-enqueueing the CFDs
+// whose LHS touches a column holding a member of a changed class. For a
+// union event, members of both classes now find() to ev.Root, so scanning
+// for that root over-approximates the absorbed class — sound, and the
+// template is tiny.
+func (s *session) drainEvents(rows [][]sym.Term) {
+	st := s.st
+	evs := st.Events()
+	if len(evs) == 0 {
+		return
+	}
+	for _, ev := range evs {
+		for p := range rows[0] {
+			touched := false
+			for r := range rows {
+				if t := rows[r][p]; t.IsVar && st.Root(t) == ev.Root {
+					touched = true
+					break
+				}
+			}
+			if touched {
+				for _, ci := range s.colCFDs[s.colStart[p]:s.colStart[p+1]] {
+					if !s.inQ[ci] && s.alive(int(ci)) {
+						s.inQ[ci] = true
+						s.queue = append(s.queue, ci)
+					}
+				}
+			}
+		}
+	}
+	st.ClearEvents()
 }
 
 func (s *session) premiseHolds(st *sym.State, cc compiledCFD, t1, t2 []sym.Term) bool {
@@ -148,36 +353,46 @@ func (s *session) premiseHolds(st *sym.State, cc compiledCFD, t1, t2 []sym.Term)
 	return true
 }
 
-// template builds the n-row implication template over the full universe.
-// shared carries phi's LHS pattern per attribute position (see implies).
-func (s *session) template(n int, shared map[int]cfd.Pattern) (*sym.State, [][]sym.Term, error) {
-	st := sym.NewState()
-	rows := make([][]sym.Term, n)
-	sharedVar := make(map[int]sym.Term, len(shared))
-	for r := 0; r < n; r++ {
-		row := make([]sym.Term, len(s.u.Attrs))
-		for i, a := range s.u.Attrs {
-			if pat, ok := shared[i]; ok {
-				if !pat.Wildcard {
-					if !a.Domain.Contains(pat.Const) {
-						return nil, nil, fmt.Errorf("implication: constant %q outside domain of %s", pat.Const, a.Name)
-					}
-					row[i] = sym.Constant(pat.Const)
-					continue
+// template rebuilds the pooled n-row implication template over the full
+// universe, column-major: positions flagged in sharedOn carry phi's LHS
+// pattern (a fixed constant in every row, or one variable shared by all
+// rows); every other position gets per-row fresh variables.
+func (s *session) template(n int) ([][]sym.Term, error) {
+	st := s.st
+	st.Reset()
+	rows := s.rowBuf[:n]
+	for i, a := range s.u.Attrs {
+		if s.sharedOn[i] {
+			if pat := s.sharedPat[i]; !pat.Wildcard {
+				if !a.Domain.Contains(pat.Const) {
+					return nil, fmt.Errorf("implication: constant %q outside domain of %s", pat.Const, a.Name)
 				}
-				v, have := sharedVar[i]
-				if !have {
-					v = st.NewVar(a.Domain)
-					sharedVar[i] = v
+				c := sym.Constant(pat.Const)
+				for r := range rows {
+					rows[r][i] = c
 				}
-				row[i] = v
 				continue
 			}
-			row[i] = st.NewVar(a.Domain)
+			v := st.NewVar(a.Domain)
+			for r := range rows {
+				rows[r][i] = v
+			}
+			continue
 		}
-		rows[r] = row
+		for r := range rows {
+			rows[r][i] = st.NewVar(a.Domain)
+		}
 	}
-	return st, rows, nil
+	return rows, nil
+}
+
+// clearShared restores the all-false sharedOn invariant after a query.
+func (s *session) clearShared(phi *cfd.CFD) {
+	for _, it := range phi.LHS {
+		if p, ok := s.u.pos(it.Attr); ok {
+			s.sharedOn[p] = false
+		}
+	}
 }
 
 // implies decides Σ |= φ using the compiled Σ (infinite-domain setting;
@@ -192,35 +407,45 @@ func (s *session) implies(phi *cfd.CFD) (bool, error) {
 		if a == b {
 			return true, nil
 		}
-		st, rows, err := s.template(1, nil)
+		if decided, result := s.fastImpliesEquality(); decided {
+			return result, nil
+		}
+		rows, err := s.template(1)
 		if err != nil {
 			return false, err
 		}
-		if !s.chase(st, rows) {
+		if !s.chase(rows) {
 			return true, nil // no tuple can exist
 		}
-		return st.SameTerm(rows[0][a], rows[0][b]), nil
+		return s.st.SameTerm(rows[0][a], rows[0][b]), nil
 	}
-	shared := make(map[int]cfd.Pattern, len(phi.LHS))
+
 	for _, it := range phi.LHS {
 		p, ok := s.u.pos(it.Attr)
 		if !ok {
 			return false, fmt.Errorf("implication: %s mentions attribute outside the universe", phi)
 		}
-		shared[p] = it.Pat
+		s.sharedOn[p] = true
+		s.sharedPat[p] = it.Pat
 	}
+	defer s.clearShared(phi)
+
 	rhs := phi.RHS[0]
 	ai, ok := s.u.pos(rhs.Attr)
 	if !ok {
 		return false, fmt.Errorf("implication: %s mentions attribute outside the universe", phi)
 	}
-	st, rows, err := s.template(2, shared)
+	if decided, result := s.fastImplies(phi, ai); decided {
+		return result, nil
+	}
+	rows, err := s.template(2)
 	if err != nil {
 		return false, err
 	}
-	if !s.chase(st, rows) {
+	if !s.chase(rows) {
 		return true, nil // premise unsatisfiable: vacuously implied
 	}
+	st := s.st
 	a1 := st.Resolve(rows[0][ai])
 	a2 := st.Resolve(rows[1][ai])
 	if !st.SameTerm(a1, a2) {
@@ -231,6 +456,3 @@ func (s *session) implies(phi *cfd.CFD) (bool, error) {
 	}
 	return !a1.IsVar && a1.Const == rhs.Pat.Const, nil
 }
-
-// assert universe attrs carry usable domains in templates.
-var _ = rel.Domain{}

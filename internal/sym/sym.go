@@ -48,7 +48,16 @@ type State struct {
 
 	conflict error // non-nil after the first failed Equate/Bind
 	version  int   // incremented on every state-changing Bind/Equate
+
+	trackEvents bool
+	events      []Event
 }
+
+// Event records one state change for incremental (worklist) chase
+// consumers: a Bind collapsed class Root to a constant (Merged == -1), or
+// an Equate absorbed class Merged into class Root. After a union, variables
+// of both classes find() to Root.
+type Event struct{ Root, Merged int }
 
 // NewState returns an empty state.
 func NewState() *State { return &State{} }
@@ -75,6 +84,37 @@ func (s *State) Conflict() error { return s.conflict }
 // changes the state; chase loops use it to detect fixpoints.
 func (s *State) Version() int { return s.version }
 
+// TrackEvents turns the change journal on or off and clears it. While on,
+// every state-changing Bind/Equate appends an Event; worklist chase loops
+// drain the journal to find the classes whose resolution changed instead of
+// rescanning every dependency. Snapshots do not capture the journal:
+// Restore clears it.
+func (s *State) TrackEvents(on bool) {
+	s.trackEvents = on
+	s.events = s.events[:0]
+}
+
+// Events returns the journal accumulated since the last TrackEvents or
+// ClearEvents call. The slice is reused; callers must not retain it.
+func (s *State) Events() []Event { return s.events }
+
+// ClearEvents empties the journal, keeping its capacity.
+func (s *State) ClearEvents() { s.events = s.events[:0] }
+
+// Reset empties the state for reuse, keeping allocated capacity (and the
+// event-tracking flag) so pooled chase sessions avoid reallocating per
+// query. The conflict flag and journal are cleared.
+func (s *State) Reset() {
+	s.parent = s.parent[:0]
+	s.rank = s.rank[:0]
+	s.bound = s.bound[:0]
+	s.value = s.value[:0]
+	s.domain = s.domain[:0]
+	s.conflict = nil
+	s.version = 0
+	s.events = s.events[:0]
+}
+
 // find returns the root of the variable's class with path compression.
 func (s *State) find(v int) int {
 	for s.parent[v] != v {
@@ -95,6 +135,17 @@ func (s *State) Resolve(t Term) Term {
 		return Constant(s.value[r])
 	}
 	return Variable(r)
+}
+
+// Root returns the union-find root of a variable term's class — even when
+// the class is bound to a constant, unlike Resolve — and -1 for constant
+// terms. Worklist chase loops use it to match template positions against
+// journal events.
+func (s *State) Root(t Term) int {
+	if !t.IsVar {
+		return -1
+	}
+	return s.find(t.Var)
 }
 
 // SameTerm reports whether two terms resolve to the same constant or the
@@ -137,6 +188,9 @@ func (s *State) Bind(t Term, c string) error {
 	s.bound[r] = true
 	s.value[r] = c
 	s.version++
+	if s.trackEvents {
+		s.events = append(s.events, Event{Root: r, Merged: -1})
+	}
 	return nil
 }
 
@@ -173,6 +227,9 @@ func (s *State) Equate(a, b Term) error {
 	}
 	s.domain[x] = d
 	s.version++
+	if s.trackEvents {
+		s.events = append(s.events, Event{Root: x, Merged: y})
+	}
 	return nil
 }
 
@@ -233,6 +290,7 @@ func (s *State) Restore(sn *Snapshot) {
 	s.domain = append(s.domain[:0], sn.domain...)
 	s.version = sn.version
 	s.conflict = nil
+	s.events = s.events[:0]
 }
 
 // FreshConstant returns a constant string guaranteed (by construction of

@@ -237,3 +237,99 @@ func TestUnionFindConfluenceProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestEventJournal(t *testing.T) {
+	st := NewState()
+	st.TrackEvents(true)
+	a := st.NewVar(rel.Infinite())
+	b := st.NewVar(rel.Infinite())
+	c := st.NewVar(rel.Infinite())
+	if err := st.Equate(a, b); err != nil {
+		t.Fatal(err)
+	}
+	evs := st.Events()
+	if len(evs) != 1 || evs[0].Merged < 0 {
+		t.Fatalf("want one union event, got %v", evs)
+	}
+	// Members of both classes must find() to the event's root.
+	if st.Root(a) != evs[0].Root || st.Root(b) != evs[0].Root {
+		t.Fatalf("union event root %d does not cover both members (%d, %d)",
+			evs[0].Root, st.Root(a), st.Root(b))
+	}
+	st.ClearEvents()
+	if err := st.Bind(c, "x"); err != nil {
+		t.Fatal(err)
+	}
+	evs = st.Events()
+	if len(evs) != 1 || evs[0].Merged != -1 || evs[0].Root != st.Root(c) {
+		t.Fatalf("want one bind event on c's root, got %v", evs)
+	}
+	// Redundant operations must not journal.
+	st.ClearEvents()
+	if err := st.Equate(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Bind(c, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if evs := st.Events(); len(evs) != 0 {
+		t.Fatalf("no-op operations journaled %v", evs)
+	}
+	// Root still answers for bound classes, unlike Resolve.
+	if st.Root(c) < 0 {
+		t.Fatal("Root must return the class of a bound variable")
+	}
+	if Root := st.Root(Constant("k")); Root != -1 {
+		t.Fatalf("Root of a constant = %d, want -1", Root)
+	}
+}
+
+func TestResetReuse(t *testing.T) {
+	st := NewState()
+	st.TrackEvents(true)
+	a := st.NewVar(rel.Infinite())
+	b := st.NewVar(rel.Infinite())
+	if err := st.Equate(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Bind(a, "v"); err != nil {
+		t.Fatal(err)
+	}
+	st.Reset()
+	if st.NumVars() != 0 || st.Conflict() != nil || st.Version() != 0 {
+		t.Fatal("Reset must empty the state")
+	}
+	if len(st.Events()) != 0 {
+		t.Fatal("Reset must clear the journal")
+	}
+	// Fresh variables after Reset start unconstrained and unbound.
+	c := st.NewVar(rel.Infinite())
+	d := st.NewVar(rel.Infinite())
+	if st.SameTerm(c, d) {
+		t.Fatal("variables after Reset must be fresh")
+	}
+	if err := st.Equate(c, d); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Events()) != 1 {
+		t.Fatal("event tracking must survive Reset")
+	}
+}
+
+func TestRestoreClearsJournal(t *testing.T) {
+	st := NewState()
+	st.TrackEvents(true)
+	a := st.NewVar(rel.Infinite())
+	b := st.NewVar(rel.Infinite())
+	snap := st.Save()
+	if err := st.Equate(a, b); err != nil {
+		t.Fatal(err)
+	}
+	st.Restore(snap)
+	if len(st.Events()) != 0 {
+		t.Fatal("Restore must clear the journal")
+	}
+	if st.SameTerm(a, b) {
+		t.Fatal("Restore must undo the union")
+	}
+}
