@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	benchfig [-exp all|fig5|fig6|fig7|fig8|table1|table2|blowup]
-//	         [-trials N] [-seed S] [-sigma N] [-quick]
+//	benchfig [-exp all|fig5|fig6|fig7|fig8|table1|table2|blowup|parallel]
+//	         [-trials N] [-seed S] [-sigma N] [-quick] [-parallel N]
+//
+// The parallel experiment emits a worker-scaling table (1, 2, 4 and
+// GOMAXPROCS workers) for the §3 decision procedure on a multi-pair union
+// view and a general-setting instantiation sweep; -parallel additionally
+// sets the worker count the other experiments hand to PropCFD_SPC.
 //
 // With -quick the sweeps run on reduced grids (useful for smoke tests);
 // otherwise the paper's full parameter grids are used: |Σ| ∈ 200..2000,
@@ -23,14 +28,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, table2, blowup")
+	exp := flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, table2, blowup, parallel")
 	trials := flag.Int("trials", 3, "random workloads per data point")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	sigma := flag.Int("sigma", 2000, "|Sigma| for the figure sweeps that fix it")
 	quick := flag.Bool("quick", false, "reduced grids for a fast smoke run")
+	parallel := flag.Int("parallel", 0, "worker count for the figure sweeps (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	cfg := bench.Config{Seed: *seed, Trials: *trials, SigmaSize: *sigma}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, SigmaSize: *sigma, Parallelism: *parallel}
 	if *quick {
 		cfg.SigmaSize = 400
 		cfg.Trials = 1
@@ -101,6 +107,12 @@ func main() {
 				return err
 			}
 			bench.PrintBlowup(os.Stdout, points)
+		case "parallel":
+			cases, err := bench.ParallelScaling(cfg, bench.DefaultParallelWorkers())
+			if err != nil {
+				return err
+			}
+			bench.PrintParallel(os.Stdout, cases)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -109,7 +121,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "table2", "blowup", "fig5", "fig6", "fig7", "fig8"}
+		names = []string{"table1", "table2", "blowup", "parallel", "fig5", "fig6", "fig7", "fig8"}
 	}
 	for _, n := range names {
 		// Figure names with a/b suffixes share one sweep.

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	cfdcheck -data customers.csv -cfds rules.txt [-relation R] [-all]
+//	cfdcheck -data customers.csv -cfds rules.txt [-relation R] [-all] [-parallel N]
+//
+// Rules are validated independently, so -parallel fans them across N
+// workers (0 = GOMAXPROCS); the report order stays the rule-file order.
 //
 // The CSV's first row must be the header (attribute names). The rules file
 // holds one CFD per line in the text syntax of the library, e.g.
@@ -22,9 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"cfdprop/internal/cfd"
+	"cfdprop/internal/parutil"
 	"cfdprop/internal/rel"
 )
 
@@ -33,6 +38,7 @@ func main() {
 	cfdsPath := flag.String("cfds", "", "file with one CFD per line")
 	relation := flag.String("relation", "R", "relation name the CFDs are defined on")
 	all := flag.Bool("all", false, "report every violation, not only the first per CFD")
+	parallel := flag.Int("parallel", 0, "worker count for rule validation (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *dataPath == "" || *cfdsPath == "" {
@@ -49,12 +55,17 @@ func main() {
 		fatal(err)
 	}
 
-	bad := 0
-	for _, c := range rules {
-		vs, err := cfd.Violations(in, c)
-		if err != nil {
-			fatal(err)
+	results := checkRules(in, rules, *parallel)
+	// Errors (bad rule vs schema) surface before any per-rule output, in
+	// rule order, so serial and parallel runs report identically.
+	for i := range rules {
+		if results[i].err != nil {
+			fatal(results[i].err)
 		}
+	}
+	bad := 0
+	for i, c := range rules {
+		vs := results[i].violations
 		if len(vs) == 0 {
 			fmt.Printf("ok    %s\n", c)
 			continue
@@ -75,6 +86,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d CFDs satisfied over %d tuples\n", len(rules), in.Len())
+}
+
+type ruleResult struct {
+	violations []cfd.Violation
+	err        error
+}
+
+// checkRules validates every rule against the instance, fanning the rules
+// across workers CFD-by-CFD (Violations only reads the instance). Results
+// come back indexed by rule, so the report order is deterministic. The
+// serial path keeps the historical fail-fast behavior: a schema error on
+// rule i means rules after i are never evaluated.
+func checkRules(in *rel.Instance, rules []*cfd.CFD, parallel int) []ruleResult {
+	if parallel == 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	results := make([]ruleResult, len(rules))
+	if parallel <= 1 || len(rules) < 2 {
+		for i := range rules {
+			results[i].violations, results[i].err = cfd.Violations(in, rules[i])
+			if results[i].err != nil {
+				break
+			}
+		}
+		return results
+	}
+	parutil.Do(len(rules), parallel, func(i int) {
+		results[i].violations, results[i].err = cfd.Violations(in, rules[i])
+	})
+	return results
 }
 
 func loadCSV(path, relation string) (*rel.Instance, error) {

@@ -50,6 +50,7 @@ func main() {
 	check := flag.String("check", "", "decide propagation of this view CFD instead of printing the cover")
 	example := flag.Bool("example", false, "print an example spec and exit")
 	heuristic := flag.Int("max-cover", 0, "heuristic bound on the working cover size (0 = exact)")
+	parallel := flag.Int("parallel", 0, "worker count for the pair loop and cover subroutines (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *example {
@@ -75,9 +76,12 @@ func main() {
 			fatal(err)
 		}
 		res, err := propagation.Check(db, view, sigma, phi,
-			propagation.Options{General: db.HasFiniteAttr(), WantCounterexample: true})
+			propagation.Options{General: db.HasFiniteAttr(), WantCounterexample: true, Parallelism: *parallel})
 		if err != nil {
 			fatal(err)
+		}
+		if res.Truncated {
+			fmt.Println("# warning: finite-domain enumeration hit the instantiation cap; a propagated verdict is not exhaustive")
 		}
 		if res.Propagated {
 			fmt.Printf("PROPAGATED: %s\n", phi)
@@ -97,7 +101,7 @@ func main() {
 	}
 
 	if len(view.Disjuncts) == 1 {
-		res, err := core.PropCFDSPC(db, view.Disjuncts[0], sigma, core.Options{MaxCoverSize: *heuristic})
+		res, err := core.PropCFDSPC(db, view.Disjuncts[0], sigma, core.Options{MaxCoverSize: *heuristic, Parallelism: *parallel})
 		if err != nil {
 			fatal(err)
 		}
@@ -113,7 +117,7 @@ func main() {
 		}
 		return
 	}
-	res, err := core.PropCFDSPCU(db, view, sigma, core.Options{MaxCoverSize: *heuristic})
+	res, err := core.PropCFDSPCU(db, view, sigma, core.Options{MaxCoverSize: *heuristic, Parallelism: *parallel})
 	if err != nil {
 		fatal(err)
 	}

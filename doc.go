@@ -13,8 +13,14 @@
 //     (sym journals class changes so chase fixpoints are worklist-driven)
 //   - internal/implication — CFD implication, consistency, MinCover; the
 //     pooled Session API reuses one compiled Σ, worklist chase state and
-//     closure fast path across many queries (see the package comment)
-//   - internal/propagation — the Σ |=V φ decision procedures (§3)
+//     closure fast path across many queries, and the sharded Pool fans
+//     concurrent queries and MinCover's redundancy screen across
+//     per-worker Sessions (see the package comment)
+//   - internal/propagation — the Σ |=V φ decision procedures (§3); the
+//     union-pair loop and the general-setting instantiation enumeration
+//     run on a parallel worker group (Options.Parallelism) with
+//     first-counterexample cancellation, byte-identical to the serial
+//     path at every worker count
 //   - internal/emptiness — the view-emptiness problem (§3.3)
 //   - internal/core      — PropCFD_SPC: minimal propagation covers (§4)
 //   - internal/closure   — the exponential closure-based baseline

@@ -32,6 +32,10 @@ type Config struct {
 	F         int   // default 10
 	Ec        int   // default 4
 
+	// Parallelism is passed through to core.Options for the figure
+	// sweeps (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
+
 	Schema gen.SchemaParams
 }
 
@@ -89,7 +93,7 @@ func runPoint(c Config, varPct int, sigmaSize, y, f, ec int, cell string) (Point
 		sigma := gen.CFDs(rng, db, gen.CFDParams{Num: sigmaSize, LHSMin: c.LHSMin, LHSMax: c.LHSMax, VarPct: varPct})
 		view := gen.View(rng, db, "V", gen.ViewParams{Y: y, F: f, Ec: ec})
 		start := time.Now()
-		res, err := core.PropCFDSPC(db, view, sigma, core.Options{})
+		res, err := core.PropCFDSPC(db, view, sigma, core.Options{Parallelism: c.Parallelism})
 		if err != nil {
 			return Point{}, fmt.Errorf("bench %s trial %d: %w", cell, trial, err)
 		}

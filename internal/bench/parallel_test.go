@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// TestParallelScalingRuns smoke-tests the scaling harness on a reduced
+// worker grid; runParallelCase itself cross-checks that every worker
+// count produces the same Result.
+func TestParallelScalingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling workloads are slow in -short mode")
+	}
+	cases, err := ParallelScaling(Config{Trials: 1}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 2 {
+		t.Fatalf("want 2 scaling cases, got %d", len(cases))
+	}
+	if cases[0].PairsChecked < 36 {
+		t.Fatalf("union case checked %d pairs, want the full 36", cases[0].PairsChecked)
+	}
+	if cases[1].Instantiations != 4096 {
+		t.Fatalf("general case examined %d instantiations, want 4096", cases[1].Instantiations)
+	}
+	for _, cs := range cases {
+		if len(cs.Points) != 2 {
+			t.Fatalf("%s: want 2 points, got %d", cs.Name, len(cs.Points))
+		}
+		for _, p := range cs.Points {
+			if p.Runtime <= 0 || p.Speedup <= 0 {
+				t.Fatalf("%s: degenerate point %+v", cs.Name, p)
+			}
+		}
+	}
+}

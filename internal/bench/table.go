@@ -201,6 +201,12 @@ func RunTable(sourceCFDs bool) ([]TableRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s negative: %w", sp.lang, sp.setting, err)
 		}
+		// A capped enumeration no longer errors (Result.Truncated); for a
+		// complexity *demonstration* a non-exhaustive verdict is a wrong
+		// row, so treat it as the failure it used to be.
+		if rPos.Truncated || rNeg.Truncated {
+			return nil, fmt.Errorf("%s/%s: instantiation enumeration truncated; verdict not exhaustive", sp.lang, sp.setting)
+		}
 		row.Time = time.Since(start)
 		row.Decided = true
 		row.PositiveOK = rPos.Propagated

@@ -22,6 +22,7 @@ package chase
 
 import (
 	"fmt"
+	"sort"
 
 	"cfdprop/internal/cfd"
 	"cfdprop/internal/rel"
@@ -86,6 +87,16 @@ func (ci *Inst) AddRow(relation string, cols []sym.Term) (*Row, error) {
 
 // Rows returns the rows of a relation (nil when none).
 func (ci *Inst) Rows(relation string) []*Row { return ci.rows[relation] }
+
+// Reset drops every row while keeping the declared relations and the
+// per-relation slice capacity, so pooled chase workers reuse one instance
+// across many runs instead of re-declaring and re-allocating. The caller
+// must also Reset the underlying sym.State — rows reference its variables.
+func (ci *Inst) Reset() {
+	for name, rows := range ci.rows {
+		ci.rows[name] = rows[:0]
+	}
+}
 
 // col returns the term of the named attribute in a row.
 func (ci *Inst) col(r *Row, attr string) (sym.Term, error) {
@@ -291,7 +302,17 @@ func (ci *Inst) Concrete(db *rel.DBSchema, allowFinitePick bool) (*rel.Database,
 	}
 	resolve := ci.St.InstantiateDistinct()
 	out := rel.NewDatabase(db)
-	for name, rows := range ci.rows {
+	// Visit relations in sorted order: InstantiateDistinct assigns fresh
+	// constants in resolution order, so the iteration order must be fixed
+	// for counterexamples to be byte-identical across runs (and across the
+	// serial and parallel propagation paths).
+	names := make([]string, 0, len(ci.rows))
+	for name := range ci.rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows := ci.rows[name]
 		if db.Relation(name) == nil {
 			return nil, fmt.Errorf("chase: schema has no relation %q", name)
 		}

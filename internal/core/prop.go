@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"cfdprop/internal/algebra"
 	"cfdprop/internal/cfd"
 	"cfdprop/internal/implication"
+	"cfdprop/internal/parutil"
 	"cfdprop/internal/rel"
 )
 
@@ -33,6 +35,13 @@ type Options struct {
 	// SkipFinalMinCover returns Σc ∪ Σd without the last MinCover call
 	// (Fig. 2 line 13); exposed for the ablation benchmarks.
 	SkipFinalMinCover bool
+	// Parallelism is the number of workers the independent sub-problems
+	// fan out over: the per-relation pre-MinCover, RBR's block-wise
+	// pruning, the final MinCover's redundancy screen, and (through
+	// PropCFDSPCU) the §3 decision procedure. 0 selects
+	// runtime.GOMAXPROCS(0); 1 runs the serial reference path. The output
+	// is identical at every setting.
+	Parallelism int
 }
 
 // DefaultRBRBlockSize is the default block size for intermediate pruning.
@@ -76,11 +85,18 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 	if blockSize == 0 {
 		blockSize = DefaultRBRBlockSize
 	}
+	par := opts.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par < 1 {
+		par = 1
+	}
 
 	// Line 1: Σ := MinCover(Σ), per source relation.
 	sigma = cfd.NormalizeAll(sigma)
 	if !opts.SkipPreMinCover {
-		sigma, err = minCoverPerRelation(db, sigma)
+		sigma, err = minCoverPerRelation(db, sigma, par)
 		if err != nil {
 			return nil, err
 		}
@@ -102,12 +118,8 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 	// Lines 3-4: inconsistency means the view is always empty; return the
 	// Lemma 4.5 pair of conflicting CFDs.
 	if eq.Inconsistent {
-		a := view.Projection[0]
 		return &Result{
-			Cover: []*cfd.CFD{
-				cfd.NewConstant(view.Name, a, "0"),
-				cfd.NewConstant(view.Name, a, "1"),
-			},
+			Cover:       lemma45Pair(view),
 			ViewSchema:  viewSchema,
 			AlwaysEmpty: true,
 			EQ:          eq,
@@ -143,7 +155,7 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 			dropAttrs = append(dropAttrs, a)
 		}
 	}
-	cfg := rbrConfig{order: opts.DropOrder, blockSize: blockSize, maxCover: opts.MaxCoverSize}
+	cfg := rbrConfig{order: opts.DropOrder, blockSize: blockSize, maxCover: opts.MaxCoverSize, parallelism: par}
 	sigmaC, truncated, err := runRBR(workspace, reduced, dropAttrs, cfg)
 	if err != nil {
 		return nil, err
@@ -159,12 +171,34 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 	// Line 13: return MinCover(Σc ∪ Σd).
 	all := cfd.Dedup(append(append([]*cfd.CFD{}, sigmaC...), sigmaD...))
 	if !opts.SkipFinalMinCover {
-		all, err = implication.NewSession(implication.UniverseOf(viewSchema)).MinCover(all)
+		u := implication.UniverseOf(viewSchema)
+		if par > 1 {
+			all, err = implication.NewPool(u, par).MinCover(all)
+		} else {
+			all, err = implication.NewSession(u).MinCover(all)
+		}
 		if err != nil {
 			return nil, err
 		}
 	}
 	return &Result{Cover: all, ViewSchema: viewSchema, Truncated: truncated, EQ: eq}, nil
+}
+
+// lemma45Pair synthesizes the two conflicting constant CFDs of Lemma 4.5
+// that express "the view is always empty". A validated SPC view always
+// projects at least one attribute, but callers that bypass validation (or
+// future normal forms with empty projections) must not panic here: with no
+// attribute to hang the conflict on, emptiness is reported through
+// AlwaysEmpty alone.
+func lemma45Pair(view *algebra.SPC) []*cfd.CFD {
+	if len(view.Projection) == 0 {
+		return nil
+	}
+	a := view.Projection[0]
+	return []*cfd.CFD{
+		cfd.NewConstant(view.Name, a, "0"),
+		cfd.NewConstant(view.Name, a, "1"),
+	}
 }
 
 // projectedEsAttrs returns the projection attributes that come from Es
@@ -227,8 +261,10 @@ func renameToView(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD) ([]*cfd
 }
 
 // minCoverPerRelation applies MinCover to each relation's bucket of Σ,
-// one implication session per source relation.
-func minCoverPerRelation(db *rel.DBSchema, sigma []*cfd.CFD) ([]*cfd.CFD, error) {
+// one implication session per source relation. The buckets are
+// independent, so with par > 1 they fan out across workers; the output
+// keeps the first-appearance relation order either way.
+func minCoverPerRelation(db *rel.DBSchema, sigma []*cfd.CFD, par int) ([]*cfd.CFD, error) {
 	byRel := make(map[string][]*cfd.CFD)
 	var order []string
 	for _, c := range sigma {
@@ -237,14 +273,19 @@ func minCoverPerRelation(db *rel.DBSchema, sigma []*cfd.CFD) ([]*cfd.CFD, error)
 		}
 		byRel[c.Relation] = append(byRel[c.Relation], c)
 	}
-	var out []*cfd.CFD
-	for _, r := range order {
+	covers := make([][]*cfd.CFD, len(order))
+	errs := make([]error, len(order))
+	parutil.Do(len(order), par, func(i int) {
+		r := order[i]
 		sess := implication.NewSession(implication.UniverseOf(db.Relation(r)))
-		mc, err := sess.MinCover(byRel[r])
-		if err != nil {
-			return nil, err
+		covers[i], errs[i] = sess.MinCover(byRel[r])
+	})
+	var out []*cfd.CFD
+	for i := range order {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		out = append(out, mc...)
+		out = append(out, covers[i]...)
 	}
 	return out, nil
 }

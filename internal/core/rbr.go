@@ -3,6 +3,7 @@ package core
 import (
 	"cfdprop/internal/cfd"
 	"cfdprop/internal/implication"
+	"cfdprop/internal/parutil"
 )
 
 // DropOrder selects the order in which RBR eliminates non-projected
@@ -29,6 +30,10 @@ type rbrConfig struct {
 	// resolvents (the polynomial-time heuristic of §1: return a subset of
 	// a cover once a predefined bound is reached).
 	maxCover int
+	// parallelism: blocks within one pruning round are independent, so
+	// they fan out over this many pooled implication sessions (<= 1 keeps
+	// the single-session serial path).
+	parallelism int
 }
 
 // resolvent builds the A-resolvent of φ1 = (W → A, t1) and φ2 = (AZ → B,
@@ -135,10 +140,14 @@ func drop(gamma []*cfd.CFD, a string, truncate bool) []*cfd.CFD {
 func runRBR(u implication.Universe, gamma []*cfd.CFD, dropAttrs []string, cfg rbrConfig) (out []*cfd.CFD, truncated bool, err error) {
 	gamma = cfd.Dedup(gamma)
 	remaining := append([]string(nil), dropAttrs...)
-	// One implication session serves every block-pruning MinCover across
-	// all elimination rounds: the workspace universe is compiled once and
-	// the chase state is pooled across the whole RBR run.
-	sess := implication.NewSession(u)
+	// One implication pool serves every block-pruning MinCover across all
+	// elimination rounds: the workspace universe is compiled once per
+	// shard and the chase state is pooled across the whole RBR run.
+	workers := cfg.parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	pool := implication.NewPool(u, workers)
 	// Lazy pruning: the block-wise MinCover of §4.3 only pays off when
 	// resolution actually grew the working set. Most eliminations on
 	// sparse workloads just delete CFDs, so pruning after every drop would
@@ -167,7 +176,7 @@ func runRBR(u implication.Universe, gamma []*cfd.CFD, dropAttrs []string, cfg rb
 			sinceLastPrune += grew
 		}
 		if cfg.blockSize > 0 && sinceLastPrune >= cfg.blockSize && len(gamma) > cfg.blockSize {
-			gamma, err = blockMinCover(sess, gamma, cfg.blockSize)
+			gamma, err = blockMinCover(pool, gamma, cfg.blockSize)
 			if err != nil {
 				return nil, false, err
 			}
@@ -202,20 +211,30 @@ func occurrenceCounts(gamma []*cfd.CFD, candidates []string) map[string]int {
 
 // blockMinCover partitions Γ into blocks of size k and replaces each block
 // with its minimal cover — the §4.3 optimization that sheds redundant CFDs
-// in O(|Γ|·k²) implication tests instead of O(|Γ|³). Blocks share the
-// caller's implication session.
-func blockMinCover(sess *implication.Session, gamma []*cfd.CFD, k int) ([]*cfd.CFD, error) {
-	var out []*cfd.CFD
-	for start := 0; start < len(gamma); start += k {
+// in O(|Γ|·k²) implication tests instead of O(|Γ|³). Blocks are mutually
+// independent, so they fan out over the pool's sessions; the result is
+// assembled in block order, making the output identical at every
+// parallelism level.
+func blockMinCover(pool *implication.Pool, gamma []*cfd.CFD, k int) ([]*cfd.CFD, error) {
+	nblocks := (len(gamma) + k - 1) / k
+	covers := make([][]*cfd.CFD, nblocks)
+	errs := make([]error, nblocks)
+	parutil.Do(nblocks, pool.Size(), func(b int) {
+		sess := pool.Borrow()
+		defer pool.Return(sess)
+		start := b * k
 		end := start + k
 		if end > len(gamma) {
 			end = len(gamma)
 		}
-		mc, err := sess.MinCover(gamma[start:end])
-		if err != nil {
-			return nil, err
+		covers[b], errs[b] = sess.MinCover(gamma[start:end])
+	})
+	var out []*cfd.CFD
+	for b := 0; b < nblocks; b++ {
+		if errs[b] != nil {
+			return nil, errs[b]
 		}
-		out = append(out, mc...)
+		out = append(out, covers[b]...)
 	}
 	return cfd.Dedup(out), nil
 }

@@ -83,10 +83,11 @@ func PropCFDSPCU(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, opts Op
 	candidates = cfd.Dedup(candidates)
 
 	// Exact filtering on the union (PTIME in the infinite-domain setting,
-	// Theorem 3.5).
+	// Theorem 3.5). Each candidate's §3 check fans its own pair loop out
+	// over Options.Parallelism workers.
 	var kept []*cfd.CFD
 	for _, c := range candidates {
-		r, err := propagation.Check(db, view, sigma, c, propagation.Options{})
+		r, err := propagation.Check(db, view, sigma, c, propagation.Options{Parallelism: opts.Parallelism})
 		if err != nil {
 			return nil, err
 		}

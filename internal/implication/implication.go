@@ -41,6 +41,21 @@
 //   - Tombstoned MinCover. The redundancy phase excludes one candidate via
 //     a skip mask and kills redundant CFDs with a dead mask, instead of
 //     copying the compiled Σ per candidate.
+//
+// # Concurrency model
+//
+// Sessions are single-owner: all pooled buffers (chase state, worklist,
+// templates) are mutated per query, so a Session must never be shared
+// between goroutines without external serialization. The goroutine-safe
+// entry point is Pool (pool.go): N independent Sessions per universe,
+// handed out whole via Borrow/Return so the chase hot path stays
+// lock-free — the only synchronization is the shard hand-off itself and a
+// generation check that lazily recompiles the pool's Σ into stale shards.
+// Pool.MinCover fans the candidate-redundancy screen across free shards
+// and replays the reference tombstone loop over the survivors, so its
+// output is byte-identical to Session.MinCover at every shard count
+// (TestPoolMinCoverMatchesSession); concurrent MinCover and Implies calls
+// on one Pool are safe and deadlock-free.
 package implication
 
 import (

@@ -13,7 +13,14 @@ import (
 // compilation and allocation. Sessions assume the infinite-domain setting
 // of §4 (finite-domain attributes are tolerated but disable the fast path)
 // and are not safe for concurrent use.
-type Session struct{ inner *session }
+type Session struct {
+	inner *session
+
+	// Pool bookkeeping (see pool.go): the Σ generation this session last
+	// compiled, and whether a borrower left it with a non-pool Σ.
+	poolGen   uint64
+	poolDirty bool
+}
 
 // NewSession builds an empty session over the universe; load Σ with
 // SetSigma or run MinCover directly.
@@ -28,6 +35,7 @@ func NewSession(u Universe) *Session {
 // SetSigma compiles Σ into the session: CFDs on other relations are
 // dropped, the rest are normalized and validated against the universe.
 func (s *Session) SetSigma(sigma []*cfd.CFD) error {
+	s.poolDirty = true // a pool owner must recompile before reuse
 	return s.inner.setSigma(cfd.NormalizeAll(sigma))
 }
 
@@ -67,6 +75,18 @@ func (s *Session) Implies(phi *cfd.CFD) (bool, error) {
 // session's closure fast path and worklist chase, and the redundancy phase
 // tombstones candidates in place instead of copying the compiled Σ.
 func (s *Session) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
+	work, err := s.minCoverPrep(sigma)
+	if err != nil {
+		return nil, err
+	}
+	return s.minCoverRedundancy(work, nil)
+}
+
+// minCoverPrep runs the first two MinCover phases — normalize/dedup and
+// left-reduction — leaving the session compiled with the reduced work set,
+// ready for the redundancy phase.
+func (s *Session) minCoverPrep(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
+	s.poolDirty = true // recompiles Σ; a pool owner must refresh before reuse
 	sess := s.inner
 	work := make([]*cfd.CFD, 0, len(sigma))
 	for _, c := range cfd.NormalizeAll(sigma) {
@@ -124,10 +144,23 @@ func (s *Session) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 	if err := sess.setSigma(work); err != nil { // realign after dedup
 		return nil, err
 	}
+	return work, nil
+}
 
-	// Redundancy elimination: exclude one candidate at a time via the skip
-	// mask, and tombstone it when the survivors imply it.
+// minCoverRedundancy runs the redundancy phase over a work set the session
+// has already compiled (via minCoverPrep): exclude one candidate at a time
+// via the skip mask, and tombstone it when the survivors imply it. When
+// maybe is non-nil, candidates with maybe[i] == false are known to be
+// non-redundant (a screen against the full work set — a superset of the
+// survivors — failed to imply them, and implication is monotone in the
+// premise set) and their probe is skipped; the output is identical either
+// way.
+func (s *Session) minCoverRedundancy(work []*cfd.CFD, maybe []bool) ([]*cfd.CFD, error) {
+	sess := s.inner
 	for i := range work {
+		if maybe != nil && !maybe[i] {
+			continue
+		}
 		sess.setSkip(i)
 		ok, err := sess.implies(work[i])
 		if err != nil {

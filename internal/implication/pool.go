@@ -1,0 +1,224 @@
+package implication
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cfdprop/internal/cfd"
+)
+
+// Pool is a sharded, goroutine-safe front-end over Session: N independent
+// sessions per universe, one per worker, so concurrent implication work
+// never contends on the chase hot path (Sessions themselves are not
+// goroutine-safe). Σ is stored once in the pool and compiled into each
+// shard lazily on Borrow, tracked by a generation counter, so SetSigma is
+// O(1) and only the shards actually used pay compilation.
+//
+// Concurrency model: Borrow hands out exclusive ownership of one Session;
+// Return gives it back. Borrow blocks until a shard is free. Implies and
+// MinCover are safe to call from any number of goroutines; MinCover never
+// blocks waiting for more than one shard (extra shards are acquired
+// opportunistically), so concurrent MinCover calls cannot deadlock.
+type Pool struct {
+	u        Universe
+	sessions chan *Session
+	size     int
+
+	mu      sync.Mutex
+	sigma   []*cfd.CFD // normalized pool Σ (nil until SetSigma)
+	gen     uint64     // bumped by SetSigma; 0 means "empty Σ"
+	created int        // sessions minted so far (≤ size)
+}
+
+// NewPool builds a pool of up to n sessions over the universe; n <= 0
+// selects runtime.GOMAXPROCS(0). Shards are minted lazily on first use,
+// so a pool sized for the machine costs nothing until work actually fans
+// out.
+func NewPool(u Universe, n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{u: u.indexed(), size: n, sessions: make(chan *Session, n)}
+}
+
+// take hands out a shard, minting a new one while the pool is below
+// capacity; it blocks only once all size shards exist and are out.
+func (p *Pool) take() *Session {
+	if s, ok := p.tryTake(); ok {
+		return s
+	}
+	return <-p.sessions
+}
+
+// tryTake is take without blocking; it reports failure when every shard
+// exists and is out.
+func (p *Pool) tryTake() (*Session, bool) {
+	select {
+	case s := <-p.sessions:
+		return s, true
+	default:
+	}
+	p.mu.Lock()
+	if p.created < p.size {
+		p.created++
+		p.mu.Unlock()
+		return NewSession(p.u), true
+	}
+	p.mu.Unlock()
+	return nil, false
+}
+
+// Size returns the number of shards.
+func (p *Pool) Size() int { return p.size }
+
+// SetSigma stores Σ as the pool's compiled set. It validates eagerly (by
+// compiling into one shard); the remaining shards recompile lazily on
+// their next Borrow. Like Session.SetSigma, CFDs on other relations are
+// dropped.
+func (p *Pool) SetSigma(sigma []*cfd.CFD) error {
+	normalized := cfd.NormalizeAll(sigma)
+	s := p.take()
+	if err := s.inner.setSigma(normalized); err != nil {
+		s.poolDirty = true
+		p.sessions <- s
+		return err
+	}
+	p.mu.Lock()
+	p.sigma = normalized
+	p.gen++
+	gen := p.gen
+	p.mu.Unlock()
+	s.poolGen = gen
+	s.poolDirty = false
+	p.sessions <- s
+	return nil
+}
+
+// Borrow hands out exclusive ownership of one shard, with the pool's Σ
+// compiled. It blocks only when all shards are out.
+func (p *Pool) Borrow() *Session {
+	s := p.take()
+	p.refresh(s)
+	return s
+}
+
+// Return gives a borrowed shard back. Callers that changed the session's
+// Σ (e.g. by running Session.MinCover on it) must not mark it themselves —
+// Pool methods that do so tag the session dirty, and Borrow recompiles.
+func (p *Pool) Return(s *Session) { p.sessions <- s }
+
+// refresh recompiles the pool Σ into a stale shard.
+func (p *Pool) refresh(s *Session) {
+	p.mu.Lock()
+	sigma, gen := p.sigma, p.gen
+	p.mu.Unlock()
+	if s.poolGen == gen && !s.poolDirty {
+		return
+	}
+	if err := s.inner.setSigma(sigma); err != nil {
+		// Unreachable: the same Σ compiled successfully in SetSigma, and
+		// compilation is deterministic in (universe, Σ).
+		panic("implication: pool shard recompile failed: " + err.Error())
+	}
+	s.poolGen = gen
+	s.poolDirty = false
+}
+
+// Implies reports whether the pool's Σ implies φ. Safe for concurrent use;
+// each call runs on one exclusively borrowed shard.
+func (p *Pool) Implies(phi *cfd.CFD) (bool, error) {
+	s := p.Borrow()
+	defer p.Return(s)
+	return s.Implies(phi)
+}
+
+// MinCover computes the minimal cover of sigma exactly as Session.MinCover
+// does — same tombstone semantics, byte-identical output order — but fans
+// the candidate-redundancy tests across shards:
+//
+//  1. normalize/dedup and left-reduce on one shard (sequential by nature:
+//     each reduction feeds the next probe's Σ);
+//  2. screen every candidate in parallel against the full reduced set
+//     minus itself. A candidate the screen does NOT imply can never become
+//     redundant later — the serial loop tests it against a subset of the
+//     screen's premises (earlier tombstones removed), and implication is
+//     monotone in the premise set — so only screen survivors re-enter
+//  3. the serial confirmation pass, which replays the reference tombstone
+//     loop in candidate order over the (usually short) maybe-redundant
+//     list.
+//
+// The screen uses however many shards are free at call time (at least the
+// one running the call), so concurrent MinCover calls degrade gracefully
+// instead of deadlocking.
+func (p *Pool) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
+	s0 := p.take() // raw: minCoverPrep compiles its own work set
+	defer p.Return(s0)
+
+	work, err := s0.minCoverPrep(sigma)
+	if err != nil {
+		return nil, err
+	}
+	if p.size == 1 || len(work) < 2 {
+		return s0.minCoverRedundancy(work, nil)
+	}
+
+	// Grab extra free shards opportunistically for the screen.
+	extra := make([]*Session, 0, p.size-1)
+	for len(extra) < p.size-1 && len(extra)+1 < len(work) {
+		s, ok := p.tryTake()
+		if !ok {
+			break
+		}
+		s.poolDirty = true // compiled with work, not the pool Σ
+		if err := s.inner.setSigma(work); err != nil {
+			// Unreachable: work compiled in minCoverPrep on s0.
+			p.Return(s)
+			for _, e := range extra {
+				p.Return(e)
+			}
+			return nil, err
+		}
+		extra = append(extra, s)
+	}
+	defer func() {
+		for _, e := range extra {
+			p.Return(e)
+		}
+	}()
+	if len(extra) == 0 {
+		return s0.minCoverRedundancy(work, nil)
+	}
+
+	// Parallel screen: maybe[i] reports work[i] implied by work − {work[i]}.
+	maybe := make([]bool, len(work))
+	errs := make([]error, len(work))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	screen := func(sess *Session) {
+		defer wg.Done()
+		inner := sess.inner
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= len(work) {
+				inner.setSkip(-1)
+				return
+			}
+			inner.setSkip(i)
+			ok, err := inner.implies(work[i])
+			maybe[i], errs[i] = ok, err
+		}
+	}
+	wg.Add(1 + len(extra))
+	for _, e := range extra {
+		go screen(e)
+	}
+	screen(s0)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s0.minCoverRedundancy(work, maybe)
+}

@@ -1,0 +1,188 @@
+package implication
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cfdprop/internal/cfd"
+)
+
+// These tests exercise the sharded Pool under real concurrency and are
+// meant to run under -race: many goroutines share one Pool while a serial
+// Session provides the oracle answers.
+
+// coverString canonicalizes a cover for exact (order-sensitive) comparison.
+func coverString(cover []*cfd.CFD) string {
+	s := ""
+	for _, c := range cover {
+		s += c.String() + "\n"
+	}
+	return s
+}
+
+// TestPoolImpliesMatchesSessionConcurrent fans implication queries across
+// goroutines sharing one Pool and compares every answer with the serial
+// Session oracle.
+func TestPoolImpliesMatchesSessionConcurrent(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		u, sigma, phis := diffWorkload(seed*31+5, 40)
+
+		oracle := NewSession(u)
+		if err := oracle.SetSigma(sigma); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]bool, len(phis))
+		for i, phi := range phis {
+			ok, err := oracle.Implies(phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = ok
+		}
+
+		pool := NewPool(u, 4)
+		if err := pool.SetSigma(sigma); err != nil {
+			t.Fatal(err)
+		}
+		const goroutines = 8
+		errs := make(chan error, goroutines)
+		var wg sync.WaitGroup
+		wg.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func(g int) {
+				defer wg.Done()
+				// Each goroutine walks the query pool at a different
+				// stride so borrows interleave.
+				for k := 0; k < len(phis); k++ {
+					i := (k*7 + g) % len(phis)
+					got, err := pool.Implies(phis[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got != want[i] {
+						errs <- fmt.Errorf("seed %d goroutine %d: pool says %v, session says %v for %s",
+							seed, g, got, want[i], phis[i])
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPoolMinCoverMatchesSession requires the parallel MinCover to return
+// byte-identical covers — same members, same order — as the serial
+// Session.MinCover, across pattern mixes and pool sizes.
+func TestPoolMinCoverMatchesSession(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, varPct := range []int{30, 100} {
+			u, sigma, _ := diffWorkload(seed*13+int64(varPct), varPct)
+			want, err := NewSession(u).MinCover(sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 4, 8} {
+				got, err := NewPool(u, shards).MinCover(sigma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if coverString(got) != coverString(want) {
+					t.Fatalf("seed %d var%%=%d shards=%d: pool cover diverged\n got: %v\nwant: %v",
+						seed, varPct, shards, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolMinCoverConcurrent runs several MinCover calls on one Pool at
+// once (shard contention, opportunistic screen acquisition) and checks
+// each result against its serial oracle. Also interleaves Implies calls
+// so MinCover's shard mutation must be properly fenced by the generation
+// tracking.
+func TestPoolMinCoverConcurrent(t *testing.T) {
+	type job struct {
+		sigma []*cfd.CFD
+		want  []*cfd.CFD
+	}
+	u, baseSigma, phis := diffWorkload(77, 40)
+	var jobs []job
+	// Jobs must share u's relation, so derive each from a rotation of the
+	// base Σ — rotations change the candidate order MinCover sees, which
+	// is what the redundancy phases are sensitive to.
+	for seed := int64(0); seed < 4; seed++ {
+		rot := append(append([]*cfd.CFD{}, baseSigma[seed:]...), baseSigma[:seed]...)
+		want, err := NewSession(u).MinCover(rot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{sigma: rot, want: want})
+	}
+
+	pool := NewPool(u, 3)
+	if err := pool.SetSigma(baseSigma); err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewSession(u)
+	if err := oracle.SetSigma(baseSigma); err != nil {
+		t.Fatal(err)
+	}
+	wantImplies := make([]bool, len(phis))
+	for i, phi := range phis {
+		ok, err := oracle.Implies(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantImplies[i] = ok
+	}
+
+	errs := make(chan error, len(jobs)+1)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				got, err := pool.MinCover(j.sigma)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if coverString(got) != coverString(j.want) {
+					errs <- fmt.Errorf("concurrent MinCover diverged from serial oracle")
+					return
+				}
+			}
+		}(j)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 3; round++ {
+			for i, phi := range phis {
+				got, err := pool.Implies(phi)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != wantImplies[i] {
+					errs <- fmt.Errorf("pool Implies diverged (%s): got %v want %v — stale shard Σ after MinCover?",
+						phi, got, wantImplies[i])
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

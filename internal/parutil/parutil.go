@@ -1,0 +1,43 @@
+// Package parutil holds the worker-pool primitive shared by the parallel
+// fan-outs (core's per-relation MinCover and RBR block pruning, cfdcheck's
+// rule validation): n independent items, a bounded worker count, an atomic
+// cursor. Callers write results into per-item slots, so output order never
+// depends on scheduling.
+package parutil
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(0) … fn(n-1) across at most workers goroutines and returns
+// when all calls finish. workers <= 1 (or n < 2) degrades to a plain
+// serial loop on the calling goroutine. fn must be safe to call from
+// multiple goroutines on distinct items.
+func Do(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,480 @@
+package propagation
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+	"cfdprop/internal/sym"
+)
+
+// The parallel front-end replays the serial loop's exact decision sequence
+// across a worker group. The key observation is that everything the serial
+// loop does besides chasing is deterministic and cheap to precompute:
+//
+//   - which disjuncts are unconditionally empty is an intrinsic property
+//     of each disjunct (its selection is self-contradictory), independent
+//     of the pair it appears in;
+//   - given the emptiness vector, the exact sequence of pairs the serial
+//     loop visits — including the (i,i) visits that merely discover an
+//     empty disjunct, which still count toward PairsChecked — is a pure
+//     function of k (buildSchedule);
+//   - within a pair, the general-setting assignments form a fixed
+//     mixed-radix sequence, so the enumeration splits into contiguous
+//     index ranges whose outcomes are position-independent.
+//
+// Pairs therefore fan out over a shared atomic cursor, instantiation
+// ranges fan out within a pair, and a monotonically decreasing "bound"
+// (the lowest schedule index that refuted or errored so far) cancels work
+// that the serial loop would never have reached. Work at or below the
+// final bound always completes, which makes PairsChecked, Instantiations,
+// Truncated and the counterexample byte-identical to the serial path.
+
+// taskKind labels one entry of the serial pair schedule.
+type taskKind uint8
+
+const (
+	taskPair        taskKind = iota // full pair check (premise + evaluate)
+	taskEquality                    // single-disjunct equality-CFD check
+	taskEmptyFirst                  // visit that discovers disjunct i is empty
+	taskEmptySecond                 // visit that discovers disjunct j is empty
+)
+
+type pairTask struct {
+	i, j int
+	kind taskKind
+}
+
+// taskOutcome is one schedule entry's contribution to the Result.
+type taskOutcome struct {
+	skipped   bool // cancelled past the final bound; contributes nothing
+	err       error
+	refuted   bool
+	insts     int // applicable assignments examined (serial-equivalent)
+	truncated bool
+	cex       *rel.Database
+}
+
+// buildSchedule replays the serial loop's iteration order given the
+// intrinsic emptiness vector, producing the exact sequence of pair visits
+// (and their kinds) that checkNormal performs when nothing refutes.
+func buildSchedule(k int, empty []bool, equality bool) []pairTask {
+	var sched []pairTask
+	if equality {
+		// The equality loop visits every disjunct once, in order.
+		for i := 0; i < k; i++ {
+			kind := taskEquality
+			if empty[i] {
+				kind = taskEmptyFirst
+			}
+			sched = append(sched, pairTask{i, i, kind})
+		}
+		return sched
+	}
+	known := make([]bool, k)
+	for i := 0; i < k; i++ {
+		if known[i] {
+			continue
+		}
+		if empty[i] {
+			// Serial checks (i,i), fails building t1, marks i empty and
+			// abandons the row.
+			sched = append(sched, pairTask{i, i, taskEmptyFirst})
+			known[i] = true
+			continue
+		}
+		for j := i; j < k; j++ {
+			if known[j] {
+				continue
+			}
+			if empty[j] {
+				// j > i here (i is not empty): serial builds t1 fine and
+				// discovers t2's inconsistency, marking j empty.
+				sched = append(sched, pairTask{i, j, taskEmptySecond})
+				known[j] = true
+				continue
+			}
+			sched = append(sched, pairTask{i, j, taskPair})
+		}
+	}
+	return sched
+}
+
+// atomicMin is a monotonically decreasing int64.
+type atomicMin struct{ v atomic.Int64 }
+
+func (m *atomicMin) store(v int64) { m.v.Store(v) }
+func (m *atomicMin) load() int64   { return m.v.Load() }
+func (m *atomicMin) min(v int64) {
+	for {
+		cur := m.v.Load()
+		if v >= cur || m.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// checkNormalParallel is the Parallelism > 1 implementation of
+// checkNormal; its Result is byte-identical to the serial path's.
+func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options) (*Result, error) {
+	k := len(view.Disjuncts)
+
+	// Intrinsic emptiness of each disjunct: its lone tableau build fails
+	// with an inconsistency. Serial discovers this lazily pair-by-pair;
+	// precomputing it (k cheap builds, no chasing) fixes the schedule.
+	scout, err := newPairWorker(db)
+	if err != nil {
+		return nil, err
+	}
+	empty := make([]bool, k)
+	for d := 0; d < k; d++ {
+		scout.reset()
+		if _, err := buildTableau(scout.ci, db, view.Disjuncts[d]); err != nil {
+			if isInconsistent(err) {
+				empty[d] = true
+			}
+			// Non-inconsistency build errors are deliberately NOT returned
+			// here: the serial path only surfaces them at the first pair
+			// that builds the disjunct — which a refutation at a lower
+			// pair index preempts — and the workers reproduce the error at
+			// exactly that schedule position, where the bound/assembly
+			// logic orders it against refutations just like serial.
+		}
+	}
+
+	sched := buildSchedule(k, empty, phi.Equality)
+	nEval := 0
+	for _, t := range sched {
+		if t.kind == taskPair || t.kind == taskEquality {
+			nEval++
+		}
+	}
+	// Budget inner (per-pair enumeration) workers so that pairs × inner
+	// roughly fills Parallelism: a lone general-setting pair gets the
+	// whole budget, many pairs each run their enumeration serially.
+	innerP := 1
+	if nEval > 0 {
+		innerP = opts.Parallelism / nEval
+		if innerP < 1 {
+			innerP = 1
+		}
+	}
+
+	outcomes := make([]taskOutcome, len(sched))
+	var cursor atomic.Int64
+	var bound atomicMin
+	bound.store(int64(len(sched)))
+	outer := opts.Parallelism
+	if outer > len(sched) {
+		outer = len(sched)
+	}
+	var wg sync.WaitGroup
+	wg.Add(outer)
+	for n := 0; n < outer; n++ {
+		go func() {
+			defer wg.Done()
+			var w *pairWorker
+			for {
+				t := int(cursor.Add(1) - 1)
+				if t >= len(sched) {
+					return
+				}
+				if int64(t) > bound.load() {
+					outcomes[t].skipped = true
+					continue
+				}
+				task := sched[t]
+				if task.kind == taskEmptyFirst || task.kind == taskEmptySecond {
+					continue // zero outcome: counts one pair, nothing else
+				}
+				if w == nil {
+					var err error
+					if w, err = newPairWorker(db); err != nil {
+						outcomes[t].err = err
+						bound.min(int64(t))
+						continue
+					}
+				}
+				outcomes[t] = runEvalTask(w, db, view, sigmaN, phi, opts, task, t, &bound, innerP)
+				if outcomes[t].err != nil || outcomes[t].refuted {
+					bound.min(int64(t))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Replay the serial accumulation over the outcomes: counters advance
+	// in schedule order and stop at the first refutation or error, exactly
+	// where the serial loop returns. Entries past the final bound are
+	// skipped and contribute nothing.
+	res := &Result{Propagated: true}
+	for t := range outcomes {
+		o := &outcomes[t]
+		if o.skipped {
+			continue
+		}
+		res.PairsChecked++
+		res.Instantiations += o.insts
+		if o.truncated {
+			res.Truncated = true
+		}
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.refuted {
+			res.Propagated = false
+			if opts.WantCounterexample {
+				res.Counterexample = o.cex
+			}
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// prepare builds the task's pair state in w and returns its evaluate
+// closure; ok is false when the premise is unrealizable (the task
+// propagates trivially). The construction sequence is identical on every
+// worker, so enumeration plans and counterexamples are reproducible.
+func prepareTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, task pairTask) (evaluate func() (bool, error), ok bool, err error) {
+	w.reset()
+	if task.kind == taskEquality {
+		t, outcome, err := prepareEquality(w, db, view.Disjuncts[task.i])
+		if err != nil || outcome != prepOK {
+			return nil, false, err
+		}
+		return equalityEvaluate(w, sigmaN, t, phi.LHS[0].Attr, phi.RHS[0].Attr), true, nil
+	}
+	t1, t2, outcome, err := preparePair(w, db, view.Disjuncts[task.i], view.Disjuncts[task.j], phi)
+	if err != nil || outcome != prepOK {
+		// Empty outcomes cannot occur: the schedule only emits taskPair
+		// for disjuncts known non-empty. Unrealizable premises propagate.
+		return nil, false, err
+	}
+	return pairEvaluate(w, sigmaN, t1, t2, phi.RHS[0]), true, nil
+}
+
+// runEvalTask runs one taskPair/taskEquality entry, fanning the
+// general-setting enumeration across innerP sub-workers when profitable.
+func runEvalTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, task pairTask, taskIdx int, bound *atomicMin, innerP int) taskOutcome {
+	evaluate, ok, err := prepareTask(w, db, view, sigmaN, phi, task)
+	if err != nil {
+		return taskOutcome{err: err}
+	}
+	if !ok {
+		return taskOutcome{} // premise unrealizable: propagated, no insts
+	}
+
+	if !opts.General {
+		ok, err := evaluate()
+		if err != nil {
+			return taskOutcome{err: err}
+		}
+		if ok {
+			return taskOutcome{}
+		}
+		return refutedOutcome(w, db, opts, 0)
+	}
+
+	plan, emptyDomain := planEnumeration(w.st, opts.MaxInstantiations)
+	if emptyDomain {
+		return taskOutcome{}
+	}
+	if len(plan.roots) == 0 {
+		ok, err := evaluate()
+		if err != nil {
+			return taskOutcome{err: err}
+		}
+		if ok {
+			return taskOutcome{insts: 1}
+		}
+		return refutedOutcome(w, db, opts, 1)
+	}
+
+	// Decide the fan-out: splitting is only worth a tableau rebuild per
+	// sub-worker when the range is long enough.
+	chunks := innerP
+	if chunks > plan.limit/minChunk {
+		chunks = plan.limit / minChunk
+	}
+	if chunks < 2 {
+		return scanSerial(w, db, opts, plan, evaluate, taskIdx, bound)
+	}
+	return scanParallel(w, evaluate, db, view, sigmaN, phi, opts, task, plan, taskIdx, bound, chunks)
+}
+
+// minChunk is the smallest instantiation range worth a dedicated
+// sub-worker (each one rebuilds the pair's tableaux once).
+const minChunk = 8
+
+// refutedOutcome captures a refutation found in w's current state.
+func refutedOutcome(w *pairWorker, db *rel.DBSchema, opts Options, insts int) taskOutcome {
+	o := taskOutcome{refuted: true, insts: insts}
+	if opts.WantCounterexample {
+		if witness, err := w.ci.Concrete(db, true); err == nil {
+			o.cex = witness
+		}
+	}
+	return o
+}
+
+// scanSerial enumerates the whole plan on one worker — scanChunk over the
+// full index range with an inert inner bound, so the two paths cannot
+// drift apart. The outer bound still cancels the task when a lower
+// schedule index refutes.
+func scanSerial(w *pairWorker, db *rel.DBSchema, opts Options, plan enumPlan, evaluate func() (bool, error), taskIdx int, bound *atomicMin) taskOutcome {
+	var inner atomicMin
+	inner.store(int64(plan.limit))
+	r := scanChunk(w, db, opts, plan, evaluate, 0, plan.limit, taskIdx, bound, &inner)
+	switch {
+	case r.aborted:
+		return taskOutcome{skipped: true}
+	case r.stopErr != nil:
+		return taskOutcome{err: r.stopErr, insts: r.count}
+	case r.stopIdx >= 0:
+		return taskOutcome{refuted: true, insts: r.count, cex: r.cex}
+	}
+	return taskOutcome{insts: r.count, truncated: plan.capped}
+}
+
+// chunkResult is one contiguous index range's contribution.
+type chunkResult struct {
+	count   int // applicable assignments examined; a prefix count when stopped
+	stopIdx int // lowest refuting/erroring index in the range, -1 if none
+	stopErr error
+	cex     *rel.Database
+	aborted bool // outer cancellation fired mid-range
+}
+
+// scanParallel splits the enumeration into contiguous chunks, one
+// sub-worker each. Every sub-worker rebuilds the pair state independently
+// (identical construction ⇒ identical variable layout, so index decoding
+// agrees across workers) and scans its range in ascending order, stopping
+// at the range's first refutation. A shared inner bound cancels indexes
+// above the lowest refutation found so far; indexes at or below the final
+// bound are never skipped, which keeps the applicable-assignment count and
+// the winning counterexample exact.
+func scanParallel(w *pairWorker, evaluate func() (bool, error), db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, task pairTask, plan enumPlan, taskIdx int, bound *atomicMin, chunks int) taskOutcome {
+	results := make([]chunkResult, chunks)
+	var inner atomicMin
+	inner.store(int64(plan.limit))
+	var wg sync.WaitGroup
+	wg.Add(chunks - 1)
+	for c := 1; c < chunks; c++ {
+		go func(c int) {
+			defer wg.Done()
+			cw, err := newPairWorker(db)
+			if err != nil {
+				results[c] = chunkResult{stopIdx: chunkLo(plan.limit, chunks, c), stopErr: err}
+				inner.min(int64(results[c].stopIdx))
+				return
+			}
+			evaluate, ok, err := prepareTask(cw, db, view, sigmaN, phi, task)
+			if err != nil {
+				results[c] = chunkResult{stopIdx: chunkLo(plan.limit, chunks, c), stopErr: err}
+				inner.min(int64(results[c].stopIdx))
+				return
+			}
+			if !ok {
+				// Unreachable: the owning task already realized the premise.
+				results[c] = chunkResult{stopIdx: -1}
+				return
+			}
+			results[c] = scanChunk(cw, db, opts, plan, evaluate, chunkLo(plan.limit, chunks, c), chunkLo(plan.limit, chunks, c+1), taskIdx, bound, &inner)
+		}(c)
+	}
+	// The owning worker takes the first chunk with its already-prepared
+	// state and evaluate closure — no rebuild.
+	results[0] = scanChunk(w, db, opts, plan, evaluate, 0, chunkLo(plan.limit, chunks, 1), taskIdx, bound, &inner)
+	wg.Wait()
+
+	// Assemble: find the lowest stop event; applicable counts accumulate
+	// over the ranges strictly below it plus the owner's prefix.
+	for _, r := range results {
+		if r.aborted {
+			return taskOutcome{skipped: true}
+		}
+	}
+	out := taskOutcome{}
+	stop := -1
+	for c := range results {
+		if results[c].stopIdx >= 0 {
+			stop = c
+			break // chunks are in ascending range order
+		}
+	}
+	if stop < 0 {
+		for c := range results {
+			out.insts += results[c].count
+		}
+		out.truncated = plan.capped
+		return out
+	}
+	for c := 0; c < stop; c++ {
+		out.insts += results[c].count
+	}
+	out.insts += results[stop].count
+	if results[stop].stopErr != nil {
+		out.err = results[stop].stopErr
+		return out
+	}
+	out.refuted = true
+	out.cex = results[stop].cex
+	return out
+}
+
+// chunkLo is the start of chunk c when limit splits into even chunks.
+func chunkLo(limit, chunks, c int) int {
+	return c * limit / chunks
+}
+
+// scanChunk scans assignment indexes [lo, hi) in ascending order.
+func scanChunk(w *pairWorker, db *rel.DBSchema, opts Options, plan enumPlan, evaluate func() (bool, error), lo, hi, taskIdx int, bound, inner *atomicMin) chunkResult {
+	st := w.st
+	base := st.Save()
+	choice := make([]int, len(plan.roots))
+	r := chunkResult{stopIdx: -1}
+	for idx := lo; idx < hi; idx++ {
+		if int64(idx) > inner.load() {
+			break // a lower refutation exists; everything ≤ it is done
+		}
+		if int64(taskIdx) > bound.load() {
+			r.aborted = true
+			return r
+		}
+		st.Restore(base)
+		plan.decode(idx, choice)
+		applicable := true
+		for i, rt := range plan.roots {
+			if st.Bind(sym.Variable(rt), plan.domains[i][choice[i]]) != nil {
+				applicable = false
+				break
+			}
+		}
+		if !applicable {
+			continue
+		}
+		r.count++
+		ok, err := evaluate()
+		if err != nil {
+			r.stopIdx = idx
+			r.stopErr = err
+			inner.min(int64(idx))
+			return r
+		}
+		if !ok {
+			r.stopIdx = idx
+			if opts.WantCounterexample {
+				if witness, err := w.ci.Concrete(db, true); err == nil {
+					r.cex = witness
+				}
+			}
+			inner.min(int64(idx))
+			return r
+		}
+	}
+	return r
+}

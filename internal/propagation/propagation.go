@@ -15,18 +15,35 @@
 // General setting (Theorems 3.2, 3.3 and Corollary 3.6, coNP-complete):
 // the same test is run once per instantiation of the unbound finite-domain
 // variables of the initial symbolic instance, exactly as in the paper's
-// appendix proofs. The enumeration is capped by MaxInstantiations.
+// appendix proofs. The enumeration is capped by MaxInstantiations; a hit
+// cap is reported through Result.Truncated rather than an error.
+//
+// # Concurrency model
+//
+// Check is a pure function and safe to call concurrently. Internally it is
+// parallel: with Options.Parallelism > 1 (the default is GOMAXPROCS) the
+// O(k²) union-disjunct pair loop and the general-setting instantiation
+// enumeration fan out across a worker group, each worker owning one pooled
+// sym.State + chase.Inst pair reused via Reset across pair checks. The
+// first counterexample in the serial (i, j, instantiation) order cancels
+// outstanding work, and the Result — Propagated, Counterexample,
+// PairsChecked, Instantiations, Truncated — is byte-identical to the
+// serial reference path (Parallelism = 1): workers past the winning index
+// are discarded, and every pair at or below it completes exactly as the
+// serial loop would.
 package propagation
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"cfdprop/internal/algebra"
 	"cfdprop/internal/cfd"
 	"cfdprop/internal/chase"
 	"cfdprop/internal/rel"
 	"cfdprop/internal/sym"
+	"cfdprop/internal/tableau"
 )
 
 // Options configures a propagation check.
@@ -35,11 +52,22 @@ type Options struct {
 	// required when the source schema has finite-domain attributes.
 	General bool
 	// MaxInstantiations caps the finite-domain enumeration per pair check
-	// (0 = DefaultMaxInstantiations).
+	// (0 = DefaultMaxInstantiations). When a pair's instantiation space
+	// exceeds the cap, the first MaxInstantiations assignments (in the
+	// deterministic enumeration order) are examined: a counterexample
+	// found among them is definitive, while exhausting the cap without one
+	// sets Result.Truncated — the check is then incomplete, not silently
+	// treated as propagated. The guard saturates instead of overflowing,
+	// so domain products beyond the int range are handled.
 	MaxInstantiations int
 	// WantCounterexample requests construction of a concrete witness
 	// database when the dependency is not propagated.
 	WantCounterexample bool
+	// Parallelism is the number of workers the pair loop and the
+	// general-setting instantiation enumeration fan out over. 0 selects
+	// runtime.GOMAXPROCS(0); 1 runs the serial reference path. Results
+	// are identical at every setting.
+	Parallelism int
 }
 
 // DefaultMaxInstantiations caps finite-domain enumeration.
@@ -56,6 +84,11 @@ type Result struct {
 	// Instantiations counts finite-domain assignments examined (general
 	// setting only).
 	Instantiations int
+	// Truncated reports that some pair's finite-domain enumeration hit
+	// Options.MaxInstantiations without finding a counterexample; when
+	// set together with Propagated, the answer is "no counterexample
+	// found within the cap", not a proof of propagation.
+	Truncated bool
 }
 
 // ErrFiniteDomains is returned when the infinite-domain procedure is asked
@@ -85,6 +118,12 @@ func Check(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.CFD,
 	if opts.MaxInstantiations <= 0 {
 		opts.MaxInstantiations = DefaultMaxInstantiations
 	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
 	if err := cfd.ValidateAll(sigma, db); err != nil {
 		return nil, err
 	}
@@ -92,12 +131,19 @@ func Check(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.CFD,
 
 	total := &Result{Propagated: true}
 	for _, p := range phi.Normalize() {
-		r, err := checkNormal(db, view, sigmaN, p, opts)
+		var r *Result
+		var err error
+		if opts.Parallelism > 1 {
+			r, err = checkNormalParallel(db, view, sigmaN, p, opts)
+		} else {
+			r, err = checkNormal(db, view, sigmaN, p, opts)
+		}
 		if err != nil {
 			return nil, err
 		}
 		total.PairsChecked += r.PairsChecked
 		total.Instantiations += r.Instantiations
+		total.Truncated = total.Truncated || r.Truncated
 		if !r.Propagated {
 			total.Propagated = false
 			total.Counterexample = r.Counterexample
@@ -113,14 +159,143 @@ func CheckAuto(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.
 	return Check(db, view, sigma, phi, Options{General: db.HasFiniteAttr(), WantCounterexample: true})
 }
 
+// pairWorker owns one sym.State + chase.Inst pair with the source
+// relations declared, reused via reset across pair checks instead of
+// re-allocating state and re-declaring relations per pair. Workers are
+// not goroutine-safe; the parallel path gives each goroutine its own.
+type pairWorker struct {
+	st *sym.State
+	ci *chase.Inst
+}
+
+func newPairWorker(db *rel.DBSchema) (*pairWorker, error) {
+	st := sym.NewState()
+	ci := chase.NewInst(st)
+	if err := declareSources(ci, db); err != nil {
+		return nil, err
+	}
+	return &pairWorker{st: st, ci: ci}, nil
+}
+
+// reset clears the worker for the next pair check, keeping declared
+// relations and allocated capacity. Variable ids restart from zero, so a
+// reset worker builds byte-identical states to a fresh one.
+func (w *pairWorker) reset() {
+	w.st.Reset()
+	w.ci.Reset()
+}
+
+// Outcomes of preparePair / prepareEquality.
+const (
+	prepOK           = iota // tableaux built, premise equated
+	prepEmptyFirst          // first disjunct's tableau is inconsistent
+	prepEmptySecond         // second disjunct's tableau is inconsistent
+	prepUnrealizable        // φ's premise cannot be realized for this pair
+)
+
+// preparePair builds the two variable-disjoint tableaux for (e1, e2) in w
+// and equates their summaries on φ's LHS. The construction order is fixed
+// (t1's variables, then t2's, then the premise equations in φ.LHS order)
+// so every worker reproduces identical sym.State layouts.
+func preparePair(w *pairWorker, db *rel.DBSchema, e1, e2 *algebra.SPC, phi *cfd.CFD) (t1, t2 *tableau.Tableau, outcome int, err error) {
+	st, ci := w.st, w.ci
+	t1, err = buildTableau(ci, db, e1)
+	if err != nil {
+		if isInconsistent(err) {
+			return nil, nil, prepEmptyFirst, nil
+		}
+		return nil, nil, 0, err
+	}
+	t2, err = buildTableau(ci, db, e2)
+	if err != nil {
+		if isInconsistent(err) {
+			return nil, nil, prepEmptySecond, nil
+		}
+		return nil, nil, 0, err
+	}
+
+	// Premise: summaries agree on φ's LHS and match its pattern constants.
+	for _, it := range phi.LHS {
+		a, b := t1.Summary[it.Attr], t2.Summary[it.Attr]
+		if !it.Pat.Wildcard {
+			if st.Bind(a, it.Pat.Const) != nil || st.Bind(b, it.Pat.Const) != nil {
+				return nil, nil, prepUnrealizable, nil
+			}
+		}
+		if st.Equate(a, b) != nil {
+			return nil, nil, prepUnrealizable, nil
+		}
+	}
+	return t1, t2, prepOK, nil
+}
+
+// pairEvaluate returns the per-instantiation test for a prepared pair:
+// chase with Σ, then compare the two summary terms of φ's RHS attribute.
+func pairEvaluate(w *pairWorker, sigmaN []*cfd.CFD, t1, t2 *tableau.Tableau, rhs cfd.Item) func() (bool, error) {
+	st, ci := w.st, w.ci
+	return func() (propagated bool, err error) {
+		if err := ci.Run(sigmaN); err != nil {
+			if isUndefined(err) {
+				return true, nil // premise unrealizable under Σ
+			}
+			return false, err
+		}
+		a1 := st.Resolve(t1.Summary[rhs.Attr])
+		a2 := st.Resolve(t2.Summary[rhs.Attr])
+		if !st.SameTerm(a1, a2) {
+			return false, nil
+		}
+		if rhs.Pat.Wildcard {
+			return true, nil
+		}
+		return !a1.IsVar && a1.Const == rhs.Pat.Const, nil
+	}
+}
+
+// prepareEquality builds the single-disjunct tableau for a special-form
+// equality CFD V(A → B, (x ‖ x)).
+func prepareEquality(w *pairWorker, db *rel.DBSchema, e *algebra.SPC) (t *tableau.Tableau, outcome int, err error) {
+	t, err = buildTableau(w.ci, db, e)
+	if err != nil {
+		if isInconsistent(err) {
+			return nil, prepEmptyFirst, nil
+		}
+		return nil, 0, err
+	}
+	return t, prepOK, nil
+}
+
+// equalityEvaluate returns the per-instantiation test for an equality CFD:
+// chase with Σ, then check the two summary terms coincide.
+func equalityEvaluate(w *pairWorker, sigmaN []*cfd.CFD, t *tableau.Tableau, a, b string) func() (bool, error) {
+	st, ci := w.st, w.ci
+	return func() (bool, error) {
+		if err := ci.Run(sigmaN); err != nil {
+			if isUndefined(err) {
+				return true, nil
+			}
+			return false, err
+		}
+		return st.SameTerm(t.Summary[a], t.Summary[b]), nil
+	}
+}
+
+// checkNormal is the serial reference implementation of the per-pair loop
+// (Parallelism = 1). The parallel path in parallel.go replicates its
+// outcome — including the counters and the emptiness bookkeeping — and is
+// differentially tested against it.
 func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options) (*Result, error) {
 	res := &Result{Propagated: true}
 	k := len(view.Disjuncts)
 	emptyDisjunct := make([]bool, k)
+	w, err := newPairWorker(db)
+	if err != nil {
+		return nil, err
+	}
 
 	if phi.Equality {
 		for i := 0; i < k; i++ {
-			ok, err := equalityCheck(db, view.Disjuncts[i], sigmaN, phi, opts, res)
+			ok, err := equalityCheck(w, db, view.Disjuncts[i], sigmaN, phi, opts, res)
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +315,7 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 			if emptyDisjunct[j] {
 				continue
 			}
-			ok, markEmpty, err := pairCheck(db, view.Disjuncts[i], view.Disjuncts[j], sigmaN, phi, opts, res)
+			ok, markEmpty, err := pairCheck(w, db, view.Disjuncts[i], view.Disjuncts[j], sigmaN, phi, opts, res)
 			if err != nil {
 				return nil, err
 			}
@@ -164,95 +339,97 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 
 // pairCheck tests one disjunct pair. markEmpty reports that the first (1)
 // or second (2) disjunct is unconditionally empty.
-func pairCheck(db *rel.DBSchema, e1, e2 *algebra.SPC, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (ok bool, markEmpty int, err error) {
+func pairCheck(w *pairWorker, db *rel.DBSchema, e1, e2 *algebra.SPC, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (ok bool, markEmpty int, err error) {
 	res.PairsChecked++
-	st := sym.NewState()
-	ci := chase.NewInst(st)
-	if err := declareSources(ci, db); err != nil {
+	w.reset()
+	t1, t2, outcome, err := preparePair(w, db, e1, e2, phi)
+	switch {
+	case err != nil:
 		return false, 0, err
+	case outcome == prepEmptyFirst:
+		return true, 1, nil
+	case outcome == prepEmptySecond:
+		return true, 2, nil
+	case outcome == prepUnrealizable:
+		return true, 0, nil
 	}
-	t1, err := buildTableau(ci, db, e1)
-	if err != nil {
-		if isInconsistent(err) {
-			return true, 1, nil
-		}
-		return false, 0, err
-	}
-	t2, err := buildTableau(ci, db, e2)
-	if err != nil {
-		if isInconsistent(err) {
-			return true, 2, nil
-		}
-		return false, 0, err
-	}
-
-	// Premise: summaries agree on φ's LHS and match its pattern constants.
-	for _, it := range phi.LHS {
-		a, b := t1.Summary[it.Attr], t2.Summary[it.Attr]
-		if !it.Pat.Wildcard {
-			if st.Bind(a, it.Pat.Const) != nil || st.Bind(b, it.Pat.Const) != nil {
-				return true, 0, nil // premise unrealizable for this pair
-			}
-		}
-		if st.Equate(a, b) != nil {
-			return true, 0, nil
-		}
-	}
-
-	rhs := phi.RHS[0]
-	evaluate := func() (propagated bool, err error) {
-		if err := ci.Run(sigmaN); err != nil {
-			if isUndefined(err) {
-				return true, nil // premise unrealizable under Σ
-			}
-			return false, err
-		}
-		a1 := st.Resolve(t1.Summary[rhs.Attr])
-		a2 := st.Resolve(t2.Summary[rhs.Attr])
-		if !st.SameTerm(a1, a2) {
-			return false, nil
-		}
-		if rhs.Pat.Wildcard {
-			return true, nil
-		}
-		return !a1.IsVar && a1.Const == rhs.Pat.Const, nil
-	}
-
-	return runSetting(ci, db, opts, res, evaluate)
+	evaluate := pairEvaluate(w, sigmaN, t1, t2, phi.RHS[0])
+	return runSetting(w.ci, db, opts, res, evaluate)
 }
 
 // equalityCheck tests a special-form view CFD V(A → B, (x ‖ x)) against a
 // single disjunct.
-func equalityCheck(db *rel.DBSchema, e *algebra.SPC, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (bool, error) {
+func equalityCheck(w *pairWorker, db *rel.DBSchema, e *algebra.SPC, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (bool, error) {
 	res.PairsChecked++
-	st := sym.NewState()
-	ci := chase.NewInst(st)
-	if err := declareSources(ci, db); err != nil {
-		return false, err
-	}
-	t, err := buildTableau(ci, db, e)
+	w.reset()
+	t, outcome, err := prepareEquality(w, db, e)
 	if err != nil {
-		if isInconsistent(err) {
-			return true, nil
-		}
 		return false, err
 	}
-	a, b := phi.LHS[0].Attr, phi.RHS[0].Attr
-	evaluate := func() (bool, error) {
-		if err := ci.Run(sigmaN); err != nil {
-			if isUndefined(err) {
-				return true, nil
-			}
-			return false, err
-		}
-		return st.SameTerm(t.Summary[a], t.Summary[b]), nil
+	if outcome == prepEmptyFirst {
+		return true, nil
 	}
-	ok, _, err := runSetting(ci, db, opts, res, evaluate)
+	evaluate := equalityEvaluate(w, sigmaN, t, phi.LHS[0].Attr, phi.RHS[0].Attr)
+	ok, _, err := runSetting(w.ci, db, opts, res, evaluate)
 	return ok, err
+}
+
+// enumPlan describes a pair's finite-domain enumeration: the unbound
+// finite roots, their domains, and the (possibly capped) number of
+// assignment indexes to examine in mixed-radix order — digit 0 varies
+// fastest, matching the serial increment order.
+type enumPlan struct {
+	roots   []int
+	domains [][]string
+	limit   int  // indexes to examine
+	capped  bool // true limit would exceed MaxInstantiations
+}
+
+// planEnumeration inspects the worker's state after preparation. empty
+// reports that some root has an empty domain (premise unrealizable).
+func planEnumeration(st *sym.State, maxInst int) (plan enumPlan, empty bool) {
+	plan.roots = st.UnboundFiniteRoots()
+	if len(plan.roots) == 0 {
+		return plan, false
+	}
+	plan.domains = make([][]string, len(plan.roots))
+	total := 1
+	for i, r := range plan.roots {
+		plan.domains[i] = st.Domain(sym.Variable(r)).Values
+		if len(plan.domains[i]) == 0 {
+			return plan, true
+		}
+		// Overflow guard: saturate at the cap instead of multiplying past
+		// the int range.
+		if !plan.capped {
+			if total > maxInst/len(plan.domains[i]) {
+				plan.capped = true
+			} else {
+				total *= len(plan.domains[i])
+			}
+		}
+	}
+	plan.limit = total
+	if plan.capped {
+		plan.limit = maxInst
+	}
+	return plan, false
+}
+
+// decode writes assignment index idx into choice, digit 0 fastest.
+func (p *enumPlan) decode(idx int, choice []int) {
+	for i := range p.domains {
+		choice[i] = idx % len(p.domains[i])
+		idx /= len(p.domains[i])
+	}
 }
 
 // runSetting runs evaluate once (infinite-domain) or per finite-domain
 // instantiation (general setting), extracting a counterexample on failure.
+// Its enumeration loop deliberately does NOT share code with the parallel
+// path's scanChunk: this is the serial reference implementation the
+// determinism tests compare the parallel results against, and an
+// independent copy is what lets those tests catch a bug in either one.
 func runSetting(ci *chase.Inst, db *rel.DBSchema, opts Options, res *Result, evaluate func() (bool, error)) (bool, int, error) {
 	st := ci.St
 	fail := func() (bool, int, error) {
@@ -278,8 +455,11 @@ func runSetting(ci *chase.Inst, db *rel.DBSchema, opts Options, res *Result, eva
 		return fail()
 	}
 
-	roots := st.UnboundFiniteRoots()
-	if len(roots) == 0 {
+	plan, emptyDomain := planEnumeration(st, opts.MaxInstantiations)
+	if emptyDomain {
+		return true, 0, nil // empty domain: premise unrealizable
+	}
+	if len(plan.roots) == 0 {
 		res.Instantiations++
 		ok, err := evaluate()
 		if err != nil {
@@ -290,25 +470,14 @@ func runSetting(ci *chase.Inst, db *rel.DBSchema, opts Options, res *Result, eva
 		}
 		return fail()
 	}
-	domains := make([][]string, len(roots))
-	total := 1
-	for i, r := range roots {
-		domains[i] = st.Domain(sym.Variable(r)).Values
-		if len(domains[i]) == 0 {
-			return true, 0, nil // empty domain: premise unrealizable
-		}
-		if total > opts.MaxInstantiations/len(domains[i]) {
-			return false, 0, fmt.Errorf("propagation: instantiation count exceeds cap %d", opts.MaxInstantiations)
-		}
-		total *= len(domains[i])
-	}
 	base := st.Save()
-	choice := make([]int, len(roots))
-	for {
+	choice := make([]int, len(plan.roots))
+	for idx := 0; idx < plan.limit; idx++ {
 		st.Restore(base)
+		plan.decode(idx, choice)
 		applicable := true
-		for i, r := range roots {
-			if st.Bind(sym.Variable(r), domains[i][choice[i]]) != nil {
+		for i, r := range plan.roots {
+			if st.Bind(sym.Variable(r), plan.domains[i][choice[i]]) != nil {
 				applicable = false
 				break
 			}
@@ -323,16 +492,9 @@ func runSetting(ci *chase.Inst, db *rel.DBSchema, opts Options, res *Result, eva
 				return fail()
 			}
 		}
-		i := 0
-		for ; i < len(choice); i++ {
-			choice[i]++
-			if choice[i] < len(domains[i]) {
-				break
-			}
-			choice[i] = 0
-		}
-		if i == len(choice) {
-			return true, 0, nil
-		}
 	}
+	if plan.capped {
+		res.Truncated = true
+	}
+	return true, 0, nil
 }
