@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,9 +35,17 @@ func main() {
 	sigma := flag.Int("sigma", 2000, "|Sigma| for the figure sweeps that fix it")
 	quick := flag.Bool("quick", false, "reduced grids for a fast smoke run")
 	parallel := flag.Int("parallel", 0, "worker count for the figure sweeps (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unbounded); hitting it exits with status 3")
 	flag.Parse()
 
-	cfg := bench.Config{Seed: *seed, Trials: *trials, SigmaSize: *sigma, Parallelism: *parallel}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := bench.Config{Seed: *seed, Trials: *trials, SigmaSize: *sigma, Parallelism: *parallel, Ctx: ctx}
 	if *quick {
 		cfg.SigmaSize = 400
 		cfg.Trials = 1
@@ -123,12 +132,33 @@ func main() {
 	if *exp == "all" {
 		names = []string{"table1", "table2", "blowup", "parallel", "fig5", "fig6", "fig7", "fig8"}
 	}
-	for _, n := range names {
-		// Figure names with a/b suffixes share one sweep.
-		n = strings.TrimSuffix(strings.TrimSuffix(n, "a"), "b")
-		if err := run(n); err != nil {
+	// The sweeps observe cfg.Ctx cooperatively; the watchdog additionally
+	// covers the experiments that take no Config (tables, blowup), so
+	// -timeout bounds the whole run no matter which experiment is hot.
+	errc := make(chan error, 1)
+	go func() {
+		for _, n := range names {
+			// Figure names with a/b suffixes share one sweep.
+			n = strings.TrimSuffix(strings.TrimSuffix(n, "a"), "b")
+			if err := run(n); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: stopped early: %v\n", err)
+				os.Exit(3)
+			}
 			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
 			os.Exit(1)
 		}
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", ctx.Err())
+		os.Exit(3)
 	}
 }

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	cfdcheck -data customers.csv -cfds rules.txt [-relation R] [-all] [-parallel N]
+//	cfdcheck -data customers.csv -cfds rules.txt [-relation R] [-all] [-parallel N] [-timeout D]
 //
 // Rules are validated independently, so -parallel fans them across N
 // workers (0 = GOMAXPROCS); the report order stays the rule-file order.
+// -timeout bounds the whole run's wall-clock time (e.g. "30s"); hitting it
+// exits with status 3.
 //
 // The CSV's first row must be the header (attribute names). The rules file
 // holds one CFD per line in the text syntax of the library, e.g.
@@ -17,13 +19,17 @@
 //	# comment lines and blank lines are ignored
 //
 // Exit status is 0 when the data satisfies every CFD, 1 otherwise.
+// Malformed input (bad CSV, unparsable rules) is reported on stderr with
+// status 1 — never a stack trace.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -34,16 +40,33 @@ import (
 )
 
 func main() {
+	// Backstop: library panics (which the audit says should not reach user
+	// input, but defense in depth is cheap here) become a clean error exit.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "cfdcheck: internal error: %v\n", r)
+			os.Exit(1)
+		}
+	}()
+
 	dataPath := flag.String("data", "", "CSV file with a header row")
 	cfdsPath := flag.String("cfds", "", "file with one CFD per line")
 	relation := flag.String("relation", "R", "relation name the CFDs are defined on")
 	all := flag.Bool("all", false, "report every violation, not only the first per CFD")
 	parallel := flag.Int("parallel", 0, "worker count for rule validation (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unbounded)")
 	flag.Parse()
 
 	if *dataPath == "" || *cfdsPath == "" {
 		fmt.Fprintln(os.Stderr, "cfdcheck: -data and -cfds are required")
 		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	in, err := loadCSV(*dataPath, *relation)
@@ -55,7 +78,11 @@ func main() {
 		fatal(err)
 	}
 
-	results := checkRules(in, rules, *parallel)
+	results, err := checkRules(ctx, in, rules, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfdcheck: %v\n", err)
+		os.Exit(3)
+	}
 	// Errors (bad rule vs schema) surface before any per-rule output, in
 	// rule order, so serial and parallel runs report identically.
 	for i := range rules {
@@ -97,25 +124,34 @@ type ruleResult struct {
 // across workers CFD-by-CFD (Violations only reads the instance). Results
 // come back indexed by rule, so the report order is deterministic. The
 // serial path keeps the historical fail-fast behavior: a schema error on
-// rule i means rules after i are never evaluated.
-func checkRules(in *rel.Instance, rules []*cfd.CFD, parallel int) []ruleResult {
+// rule i means rules after i are never evaluated. A non-nil error means
+// the run stopped early (timeout) and the results are incomplete.
+func checkRules(ctx context.Context, in *rel.Instance, rules []*cfd.CFD, parallel int) ([]ruleResult, error) {
 	if parallel == 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	results := make([]ruleResult, len(rules))
 	if parallel <= 1 || len(rules) < 2 {
+		done := ctx.Done()
 		for i := range rules {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
 			results[i].violations, results[i].err = cfd.Violations(in, rules[i])
 			if results[i].err != nil {
 				break
 			}
 		}
-		return results
+		return results, nil
 	}
-	parutil.Do(len(rules), parallel, func(i int) {
+	if err := parutil.DoCtx(ctx, len(rules), parallel, func(i int) {
 		results[i].violations, results[i].err = cfd.Violations(in, rules[i])
-	})
-	return results
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 func loadCSV(path, relation string) (*rel.Instance, error) {
@@ -124,18 +160,25 @@ func loadCSV(path, relation string) (*rel.Instance, error) {
 		return nil, err
 	}
 	defer f.Close()
-	r := csv.NewReader(f)
+	return readCSV(f, path, relation)
+}
+
+// readCSV builds an instance from CSV input: header row as attribute
+// names, every value in the infinite domain. Split from loadCSV so the
+// fuzz target can drive it without a file.
+func readCSV(src io.Reader, name, relation string) (*rel.Instance, error) {
+	r := csv.NewReader(src)
 	r.TrimLeadingSpace = true
 	rows, err := r.ReadAll()
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("%s: missing header row", path)
+		return nil, fmt.Errorf("%s: missing header row", name)
 	}
 	attrs := make([]rel.Attribute, len(rows[0]))
-	for i, name := range rows[0] {
-		attrs[i] = rel.Attribute{Name: strings.TrimSpace(name), Domain: rel.Infinite()}
+	for i, n := range rows[0] {
+		attrs[i] = rel.Attribute{Name: strings.TrimSpace(n), Domain: rel.Infinite()}
 	}
 	schema, err := rel.NewSchema(relation, attrs...)
 	if err != nil {
@@ -144,7 +187,7 @@ func loadCSV(path, relation string) (*rel.Instance, error) {
 	in := rel.NewInstance(schema)
 	for i, row := range rows[1:] {
 		if err := in.Insert(rel.Tuple(row)); err != nil {
-			return nil, fmt.Errorf("%s row %d: %w", path, i+2, err)
+			return nil, fmt.Errorf("%s row %d: %w", name, i+2, err)
 		}
 	}
 	return in, nil
@@ -156,8 +199,15 @@ func loadCFDs(path string) ([]*cfd.CFD, error) {
 		return nil, err
 	}
 	defer f.Close()
+	return readCFDs(f, path)
+}
+
+// readCFDs parses the one-CFD-per-line rules format. Split from loadCFDs
+// so the fuzz target can drive it without a file.
+func readCFDs(src io.Reader, name string) ([]*cfd.CFD, error) {
 	var out []*cfd.CFD
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -167,7 +217,7 @@ func loadCFDs(path string) ([]*cfd.CFD, error) {
 		}
 		c, err := cfd.Parse(text)
 		if err != nil {
-			return nil, fmt.Errorf("%s line %d: %w", path, line, err)
+			return nil, fmt.Errorf("%s line %d: %w", name, line, err)
 		}
 		out = append(out, c)
 	}
@@ -175,7 +225,7 @@ func loadCFDs(path string) ([]*cfd.CFD, error) {
 		return nil, err
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("%s: no CFDs found", path)
+		return nil, fmt.Errorf("%s: no CFDs found", name)
 	}
 	return out, nil
 }

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cfdprop/internal/cfd"
@@ -69,5 +72,97 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if _, err := loadCFDs(filepath.Join("testdata", "missing.txt")); err == nil {
 		t.Error("missing rules must fail")
+	}
+}
+
+// TestMalformedInputsErrorCleanly is the satellite-2 regression: every
+// malformed input class a user can feed cfdcheck must come back as an
+// error — never a panic, which main would otherwise turn into a stack
+// trace instead of a clean non-zero exit.
+func TestMalformedInputsErrorCleanly(t *testing.T) {
+	badCSV := []struct{ name, data string }{
+		{"empty file", ""},
+		{"ragged row", "a,b\n1,2,3\n"},
+		{"unterminated quote", "a,b\n\"oops,2\n"},
+		{"duplicate header", "a,a\n1,2\n"},
+		{"empty header cell", "a,\n1,2\n"},
+	}
+	for _, tc := range badCSV {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("CSV %s: panicked: %v", tc.name, r)
+				}
+			}()
+			if _, err := readCSV(strings.NewReader(tc.data), tc.name, "R"); err == nil {
+				t.Errorf("CSV %s: accepted", tc.name)
+			}
+		}()
+	}
+	badRules := []struct{ name, data string }{
+		{"empty file", ""},
+		{"only comments", "# nothing here\n"},
+		{"syntax error", "R(zip -> \n"},
+		{"garbage", "\x00\x01\x02\n"},
+		{"good then bad", "R(a -> b)\nR(((\n"},
+	}
+	for _, tc := range badRules {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("rules %s: panicked: %v", tc.name, r)
+				}
+			}()
+			if _, err := readCFDs(strings.NewReader(tc.data), tc.name); err == nil {
+				t.Errorf("rules %s: accepted", tc.name)
+			}
+		}()
+	}
+}
+
+// TestCheckRulesTimeout: an expired context stops rule validation with the
+// context's error (main maps it to exit status 3).
+func TestCheckRulesTimeout(t *testing.T) {
+	in, err := loadCSV(filepath.Join("testdata", "customers.csv"), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := loadCFDs(filepath.Join("testdata", "rules.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallel := range []int{1, 4} {
+		if _, err := checkRules(ctx, in, rules, parallel); !errors.Is(err, context.Canceled) {
+			t.Errorf("parallel=%d: checkRules under cancelled context = %v, want context.Canceled", parallel, err)
+		}
+	}
+}
+
+// TestCheckRulesParallelMatchesSerial: the fan-out reports the same
+// verdicts in the same order as the serial path.
+func TestCheckRulesParallelMatchesSerial(t *testing.T) {
+	in, err := loadCSV(filepath.Join("testdata", "customers.csv"), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := loadCFDs(filepath.Join("testdata", "rules.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ref, err := checkRules(ctx, in, rules, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := checkRules(ctx, in, rules, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rules {
+		if len(got[i].violations) != len(ref[i].violations) || (got[i].err == nil) != (ref[i].err == nil) {
+			t.Errorf("rule %d: parallel diverged from serial", i)
+		}
 	}
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,7 +52,15 @@ func main() {
 	example := flag.Bool("example", false, "print an example spec and exit")
 	heuristic := flag.Int("max-cover", 0, "heuristic bound on the working cover size (0 = exact)")
 	parallel := flag.Int("parallel", 0, "worker count for the pair loop and cover subroutines (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the computation (0 = unbounded); -check reports a partial verdict, cover computations exit with status 3")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *example {
 		fmt.Println(exampleSpec)
@@ -76,12 +85,15 @@ func main() {
 			fatal(err)
 		}
 		res, err := propagation.Check(db, view, sigma, phi,
-			propagation.Options{General: db.HasFiniteAttr(), WantCounterexample: true, Parallelism: *parallel})
+			propagation.Options{General: db.HasFiniteAttr(), WantCounterexample: true, Parallelism: *parallel, Context: ctx})
 		if err != nil {
 			fatal(err)
 		}
 		if res.Truncated {
 			fmt.Println("# warning: finite-domain enumeration hit the instantiation cap; a propagated verdict is not exhaustive")
+		}
+		if res.Stopped != propagation.StopNone {
+			fmt.Printf("# warning: check stopped early (%s); a propagated verdict only means no counterexample was found before the stop\n", res.Stopped)
 		}
 		if res.Propagated {
 			fmt.Printf("PROPAGATED: %s\n", phi)
@@ -101,9 +113,9 @@ func main() {
 	}
 
 	if len(view.Disjuncts) == 1 {
-		res, err := core.PropCFDSPC(db, view.Disjuncts[0], sigma, core.Options{MaxCoverSize: *heuristic, Parallelism: *parallel})
+		res, err := core.PropCFDSPC(db, view.Disjuncts[0], sigma, core.Options{MaxCoverSize: *heuristic, Parallelism: *parallel, Context: ctx})
 		if err != nil {
-			fatal(err)
+			fatalCtx(ctx, err)
 		}
 		if res.AlwaysEmpty {
 			fmt.Println("# view is empty for every source satisfying the CFDs")
@@ -117,9 +129,9 @@ func main() {
 		}
 		return
 	}
-	res, err := core.PropCFDSPCU(db, view, sigma, core.Options{MaxCoverSize: *heuristic, Parallelism: *parallel})
+	res, err := core.PropCFDSPCU(db, view, sigma, core.Options{MaxCoverSize: *heuristic, Parallelism: *parallel, Context: ctx})
 	if err != nil {
-		fatal(err)
+		fatalCtx(ctx, err)
 	}
 	fmt.Printf("# propagated CFDs on the union (%d CFDs, sound candidate heuristic) on %s\n",
 		len(res.Cover), res.ViewSchema)
@@ -131,4 +143,15 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "propcfd: %v\n", err)
 	os.Exit(1)
+}
+
+// fatalCtx reports a cover-computation failure, distinguishing a -timeout
+// (or other cancellation) expiry with exit status 3: a cover is all-or-
+// nothing, so unlike -check there is no partial verdict to print.
+func fatalCtx(ctx context.Context, err error) {
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "propcfd: stopped early: %v\n", err)
+		os.Exit(3)
+	}
+	fatal(err)
 }

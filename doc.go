@@ -26,7 +26,34 @@
 //   - internal/closure   — the exponential closure-based baseline
 //   - internal/gen, internal/bench — §5 workload generators and harness
 //
+// # Cancellation and budget semantics
+//
+// Every long-running entry point is cooperatively cancellable and
+// budgetable. propagation.Options carries a Context, a wall-clock Deadline
+// and a MaxChaseSteps budget (one step pool shared by all workers, so
+// serial and parallel runs exhaust after the same total work);
+// core.Options and bench.Config thread a Context through the cover
+// algorithms, and implication Sessions/Pools accept one via SetContext.
+// The chase worklists, pair loops and finite-domain enumerations all poll
+// these controls.
+//
+// A stop is not an error: propagation.Check reports it as Result.Stopped
+// (StopCancelled, StopDeadline or StopChaseBudget), extending the
+// Truncated precedent. The invariants: a refutation found before the stop
+// is definitive (Propagated false, Stopped clear); a Propagated verdict
+// with Stopped set only means "no counterexample found before the stop";
+// counters reflect exactly the work finished; and for a fixed stop point
+// (a fixed MaxChaseSteps at Parallelism 1) the partial Result is fully
+// deterministic. Cancelled Sessions return to a reusable state via Reset,
+// and a Pool never loses a shard to a cancelled or panicking query.
+//
+// internal/faultinject is the test-only seam behind those guarantees: a
+// no-op in normal builds, and under -tags faultinject a rule engine that
+// injects panics, delays and forced cancellations at chase steps, pool
+// hand-offs and worker boundaries, driven by the randomized crash-safety
+// suite under -race.
+//
 // Entry points: cmd/propcfd (compute covers), cmd/cfdcheck (validate data
 // against CFDs), cmd/benchfig (regenerate the paper's figures and tables);
-// runnable walk-throughs live in examples/.
+// all three take -timeout. Runnable walk-throughs live in examples/.
 package cfdprop

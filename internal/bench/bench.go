@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -23,6 +24,11 @@ import (
 type Config struct {
 	Seed   int64
 	Trials int // workloads per data point (the paper averages 10×5 runs)
+
+	// Ctx, when non-nil, bounds every sweep: cancellation or deadline
+	// expiry aborts the run with the context's error instead of letting a
+	// long grid finish.
+	Ctx context.Context
 
 	SigmaSize int   // |Σ| default 2000
 	LHSMin    int   // default 3
@@ -93,7 +99,7 @@ func runPoint(c Config, varPct int, sigmaSize, y, f, ec int, cell string) (Point
 		sigma := gen.CFDs(rng, db, gen.CFDParams{Num: sigmaSize, LHSMin: c.LHSMin, LHSMax: c.LHSMax, VarPct: varPct})
 		view := gen.View(rng, db, "V", gen.ViewParams{Y: y, F: f, Ec: ec})
 		start := time.Now()
-		res, err := core.PropCFDSPC(db, view, sigma, core.Options{Parallelism: c.Parallelism})
+		res, err := core.PropCFDSPC(db, view, sigma, core.Options{Parallelism: c.Parallelism, Context: c.Ctx})
 		if err != nil {
 			return Point{}, fmt.Errorf("bench %s trial %d: %w", cell, trial, err)
 		}

@@ -156,6 +156,7 @@ func runParallelCase(name string, c Config, workers []int, db *rel.DBSchema, vie
 	for _, w := range workers {
 		opts := base
 		opts.Parallelism = w
+		opts.Context = c.Ctx
 		times := make([]time.Duration, 0, c.Trials)
 		var res *propagation.Result
 		for t := 0; t < c.Trials; t++ {
@@ -163,6 +164,9 @@ func runParallelCase(name string, c Config, workers []int, db *rel.DBSchema, vie
 			r, err := propagation.Check(db, view, sigma, phi, opts)
 			if err != nil {
 				return nil, fmt.Errorf("bench %s workers=%d: %w", name, w, err)
+			}
+			if r.Stopped != propagation.StopNone {
+				return nil, fmt.Errorf("bench %s workers=%d: stopped early (%s)", name, w, r.Stopped)
 			}
 			times = append(times, time.Since(start))
 			res = r

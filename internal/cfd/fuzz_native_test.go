@@ -1,0 +1,41 @@
+package cfd
+
+import (
+	"testing"
+)
+
+// FuzzParse is the native-fuzzing counterpart of TestParseNeverPanics:
+// Parse must return an error or a CFD — never panic, never (nil, nil) —
+// and anything it accepts must re-render to text that reparses to the
+// same key. Run with `go test -fuzz=FuzzParse ./internal/cfd`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"R(zip -> street)",
+		"R([CC=44, zip] -> [street])",
+		"R([CC=44, AC=20] -> [city=LDN])",
+		"R([AC=_, phn=_] -> [street=_])",
+		`R(["a,b"=x] -> [c])`,
+		"V([A=1] -> [B]) == V([A=2] -> [B])",
+		"R([] -> [C=77])",
+		"R(", "R()", "[->]", "R(a ->", "R(a -> b) trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatalf("Parse(%q) returned nil, nil", s)
+		}
+		back, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("re-render of %q -> %q does not reparse: %v", s, c.String(), err)
+		}
+		if back.Key() != c.Key() {
+			t.Fatalf("re-render of %q round-trips to a different CFD: %q vs %q", s, back.Key(), c.Key())
+		}
+	})
+}

@@ -21,13 +21,22 @@
 package chase
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"cfdprop/internal/cfd"
+	"cfdprop/internal/faultinject"
 	"cfdprop/internal/rel"
 	"cfdprop/internal/sym"
 )
+
+// ErrStepBudget is returned by Run when the shared step budget installed
+// via SetControl is exhausted. Callers distinguish it from ErrUndefined:
+// budget exhaustion means "stopped early", not "chase undefined".
+var ErrStepBudget = errors.New("chase: step budget exhausted")
 
 // Row is one symbolic tuple of a named source relation. Cols follow the
 // attribute order of the relation schema the row belongs to.
@@ -43,6 +52,13 @@ type Inst struct {
 	rows map[string][]*Row
 	// attrIdx caches attribute -> column maps per relation.
 	attrIdx map[string]map[string]int
+
+	// Cooperative stop controls, installed by SetControl. done is ctx.Done()
+	// cached once; steps, when non-nil, is a shared budget decremented per
+	// worklist pop (shared across the workers of one propagation.Check).
+	ctx   context.Context
+	done  <-chan struct{}
+	steps *atomic.Int64
 }
 
 // NewInst creates an empty symbolic instance over the state.
@@ -98,6 +114,41 @@ func (ci *Inst) Reset() {
 	}
 }
 
+// SetControl installs cooperative stop controls for subsequent Runs: a
+// context checked periodically inside the worklist loop, and an optional
+// shared step budget decremented once per worklist pop (Run returns
+// ErrStepBudget when it hits zero). Either may be nil to disable that
+// control; SetControl(nil, nil) clears both. The instance stays fully
+// reusable after a stopped Run (callers Reset/Restore state as usual).
+func (ci *Inst) SetControl(ctx context.Context, steps *atomic.Int64) {
+	ci.ctx = ctx
+	ci.steps = steps
+	if ctx != nil {
+		ci.done = ctx.Done()
+	} else {
+		ci.done = nil
+	}
+}
+
+// checkpoint enforces the installed controls at worklist pop qh; it is the
+// single place the chase can stop early.
+func (ci *Inst) checkpoint(qh int) error {
+	faultinject.Hit(faultinject.SiteChaseStep)
+	if ci.steps != nil && ci.steps.Add(-1) < 0 {
+		return ErrStepBudget
+	}
+	// Polling the done channel has cost; amortize it, but always poll on the
+	// first pop so short Runs still observe cancellation once per call.
+	if ci.done != nil && (qh&63 == 0) {
+		select {
+		case <-ci.done:
+			return ci.ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
 // col returns the term of the named attribute in a row.
 func (ci *Inst) col(r *Row, attr string) (sym.Term, error) {
 	i, ok := ci.attrIdx[r.Relation][attr]
@@ -115,7 +166,9 @@ func (e ErrUndefined) Unwrap() error { return e.Cause }
 
 // Run chases the instance with the given dependencies until fixpoint.
 // It returns ErrUndefined when two distinct constants are equated (or a
-// domain is emptied), and a plain error on malformed input. Dependencies
+// domain is emptied), and a plain error on malformed input. Under controls
+// installed by SetControl it can also return ErrStepBudget or the
+// context's error; both mean "stopped early", not "undefined". Dependencies
 // whose relation has no rows are ignored. Multi-RHS CFDs are applied
 // directly (no prior normalization needed).
 //
@@ -201,6 +254,9 @@ func (ci *Inst) Run(sigma []*cfd.CFD) error {
 		}
 	}
 	for qh := 0; qh < len(queue); qh++ {
+		if err := ci.checkpoint(qh); err != nil {
+			return err
+		}
 		i := queue[qh]
 		inQ[i] = false
 		cc := cs[i]

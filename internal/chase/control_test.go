@@ -1,0 +1,73 @@
+package chase
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"cfdprop/internal/cfd"
+)
+
+// TestRunStepBudgetExhaustion: a zero budget stops Run on its first
+// worklist pop with ErrStepBudget; the state is simply "stopped early",
+// not corrupted — clearing the control and rerunning completes the chase.
+func TestRunStepBudgetExhaustion(t *testing.T) {
+	ci, st := newInst(t, "A", "B")
+	r1 := freshRow(ci, st, 2)
+	r2 := freshRow(ci, st, 2)
+	if err := st.Equate(r1.Cols[0], r2.Cols[0]); err != nil {
+		t.Fatal(err)
+	}
+	var steps atomic.Int64
+	ci.SetControl(nil, &steps)
+	sigma := []*cfd.CFD{cfd.MustParse(`R(A -> B)`)}
+	if err := ci.Run(sigma); !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("Run with zero budget = %v, want ErrStepBudget", err)
+	}
+	ci.SetControl(nil, nil)
+	if err := ci.Run(sigma); err != nil {
+		t.Fatalf("rerun after budget stop: %v", err)
+	}
+	if !st.SameTerm(r1.Cols[1], r2.Cols[1]) {
+		t.Error("chase must equate B values after the unrestricted rerun")
+	}
+}
+
+// TestRunBudgetDecrements: a generous budget lets Run complete and is
+// drawn down by exactly the number of worklist pops.
+func TestRunBudgetDecrements(t *testing.T) {
+	ci, st := newInst(t, "A", "B")
+	r1 := freshRow(ci, st, 2)
+	r2 := freshRow(ci, st, 2)
+	if err := st.Equate(r1.Cols[0], r2.Cols[0]); err != nil {
+		t.Fatal(err)
+	}
+	var steps atomic.Int64
+	const budget = 1 << 20
+	steps.Store(budget)
+	ci.SetControl(nil, &steps)
+	if err := ci.Run([]*cfd.CFD{cfd.MustParse(`R(A -> B)`)}); err != nil {
+		t.Fatal(err)
+	}
+	if rem := steps.Load(); rem >= budget || rem < 0 {
+		t.Fatalf("budget not drawn down sensibly: %d of %d left", rem, budget)
+	}
+}
+
+// TestRunCancelledContext: an already-cancelled context stops Run on the
+// first pop (the poll is amortized but always fires at pop zero).
+func TestRunCancelledContext(t *testing.T) {
+	ci, st := newInst(t, "A", "B")
+	r1 := freshRow(ci, st, 2)
+	r2 := freshRow(ci, st, 2)
+	if err := st.Equate(r1.Cols[0], r2.Cols[0]); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ci.SetControl(ctx, nil)
+	if err := ci.Run([]*cfd.CFD{cfd.MustParse(`R(A -> B)`)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under cancelled context = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -13,6 +14,12 @@ import (
 
 // Options tunes PropCFDSPC. The zero value follows the paper's Fig. 2.
 type Options struct {
+	// Context, when non-nil, cancels the computation cooperatively: the
+	// implication sessions driving MinCover and RBR poll it inside their
+	// worklist chases, and the per-relation / per-block fan-outs stop
+	// claiming work once it is done. On cancellation the call returns the
+	// context's error. nil means no cancellation.
+	Context context.Context
 	// SkipPreMinCover skips the initial Σ := MinCover(Σ) (Fig. 2 line 1);
 	// exposed for the ablation benchmarks.
 	SkipPreMinCover bool
@@ -92,11 +99,15 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 	if par < 1 {
 		par = 1
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	// Line 1: Σ := MinCover(Σ), per source relation.
 	sigma = cfd.NormalizeAll(sigma)
 	if !opts.SkipPreMinCover {
-		sigma, err = minCoverPerRelation(db, sigma, par)
+		sigma, err = minCoverPerRelation(ctx, db, sigma, par)
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +166,7 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 			dropAttrs = append(dropAttrs, a)
 		}
 	}
-	cfg := rbrConfig{order: opts.DropOrder, blockSize: blockSize, maxCover: opts.MaxCoverSize, parallelism: par}
+	cfg := rbrConfig{ctx: ctx, order: opts.DropOrder, blockSize: blockSize, maxCover: opts.MaxCoverSize, parallelism: par}
 	sigmaC, truncated, err := runRBR(workspace, reduced, dropAttrs, cfg)
 	if err != nil {
 		return nil, err
@@ -173,9 +184,13 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 	if !opts.SkipFinalMinCover {
 		u := implication.UniverseOf(viewSchema)
 		if par > 1 {
-			all, err = implication.NewPool(u, par).MinCover(all)
+			pool := implication.NewPool(u, par)
+			pool.SetContext(ctx)
+			all, err = pool.MinCover(all)
 		} else {
-			all, err = implication.NewSession(u).MinCover(all)
+			sess := implication.NewSession(u)
+			sess.SetContext(ctx)
+			all, err = sess.MinCover(all)
 		}
 		if err != nil {
 			return nil, err
@@ -264,7 +279,7 @@ func renameToView(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD) ([]*cfd
 // one implication session per source relation. The buckets are
 // independent, so with par > 1 they fan out across workers; the output
 // keeps the first-appearance relation order either way.
-func minCoverPerRelation(db *rel.DBSchema, sigma []*cfd.CFD, par int) ([]*cfd.CFD, error) {
+func minCoverPerRelation(ctx context.Context, db *rel.DBSchema, sigma []*cfd.CFD, par int) ([]*cfd.CFD, error) {
 	byRel := make(map[string][]*cfd.CFD)
 	var order []string
 	for _, c := range sigma {
@@ -275,11 +290,14 @@ func minCoverPerRelation(db *rel.DBSchema, sigma []*cfd.CFD, par int) ([]*cfd.CF
 	}
 	covers := make([][]*cfd.CFD, len(order))
 	errs := make([]error, len(order))
-	parutil.Do(len(order), par, func(i int) {
+	if err := parutil.DoCtx(ctx, len(order), par, func(i int) {
 		r := order[i]
 		sess := implication.NewSession(implication.UniverseOf(db.Relation(r)))
+		sess.SetContext(ctx)
 		covers[i], errs[i] = sess.MinCover(byRel[r])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var out []*cfd.CFD
 	for i := range order {
 		if errs[i] != nil {

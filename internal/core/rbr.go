@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"cfdprop/internal/cfd"
 	"cfdprop/internal/implication"
 	"cfdprop/internal/parutil"
@@ -21,6 +23,9 @@ const (
 
 // rbrConfig tunes procedure RBR.
 type rbrConfig struct {
+	// ctx cancels the run cooperatively between elimination rounds and
+	// inside the pooled implication chases; nil disables.
+	ctx   context.Context
 	order DropOrder
 	// blockSize: Γ is partitioned into blocks of this size and MinCover is
 	// applied per block after each elimination round, pruning redundant
@@ -148,12 +153,25 @@ func runRBR(u implication.Universe, gamma []*cfd.CFD, dropAttrs []string, cfg rb
 		workers = 1
 	}
 	pool := implication.NewPool(u, workers)
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pool.SetContext(ctx)
+	done := ctx.Done()
 	// Lazy pruning: the block-wise MinCover of §4.3 only pays off when
 	// resolution actually grew the working set. Most eliminations on
 	// sparse workloads just delete CFDs, so pruning after every drop would
 	// dominate the whole algorithm (quadratically in |U − Y|).
 	sinceLastPrune := 0
 	for len(remaining) > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, false, ctx.Err()
+			default:
+			}
+		}
 		next := 0
 		if cfg.order == DropFewestOccurrences {
 			counts := occurrenceCounts(gamma, remaining)
@@ -176,7 +194,7 @@ func runRBR(u implication.Universe, gamma []*cfd.CFD, dropAttrs []string, cfg rb
 			sinceLastPrune += grew
 		}
 		if cfg.blockSize > 0 && sinceLastPrune >= cfg.blockSize && len(gamma) > cfg.blockSize {
-			gamma, err = blockMinCover(pool, gamma, cfg.blockSize)
+			gamma, err = blockMinCover(ctx, pool, gamma, cfg.blockSize)
 			if err != nil {
 				return nil, false, err
 			}
@@ -215,12 +233,16 @@ func occurrenceCounts(gamma []*cfd.CFD, candidates []string) map[string]int {
 // independent, so they fan out over the pool's sessions; the result is
 // assembled in block order, making the output identical at every
 // parallelism level.
-func blockMinCover(pool *implication.Pool, gamma []*cfd.CFD, k int) ([]*cfd.CFD, error) {
+func blockMinCover(ctx context.Context, pool *implication.Pool, gamma []*cfd.CFD, k int) ([]*cfd.CFD, error) {
 	nblocks := (len(gamma) + k - 1) / k
 	covers := make([][]*cfd.CFD, nblocks)
 	errs := make([]error, nblocks)
-	parutil.Do(nblocks, pool.Size(), func(b int) {
-		sess := pool.Borrow()
+	if err := parutil.DoCtx(ctx, nblocks, pool.Size(), func(b int) {
+		sess, err := pool.Borrow()
+		if err != nil {
+			errs[b] = err
+			return
+		}
 		defer pool.Return(sess)
 		start := b * k
 		end := start + k
@@ -228,7 +250,9 @@ func blockMinCover(pool *implication.Pool, gamma []*cfd.CFD, k int) ([]*cfd.CFD,
 			end = len(gamma)
 		}
 		covers[b], errs[b] = sess.MinCover(gamma[start:end])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var out []*cfd.CFD
 	for b := 0; b < nblocks; b++ {
 		if errs[b] != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cfdprop/internal/algebra"
@@ -87,15 +88,26 @@ func PropCFDSPCU(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, opts Op
 	// over Options.Parallelism workers.
 	var kept []*cfd.CFD
 	for _, c := range candidates {
-		r, err := propagation.Check(db, view, sigma, c, propagation.Options{Parallelism: opts.Parallelism})
+		r, err := propagation.Check(db, view, sigma, c, propagation.Options{Parallelism: opts.Parallelism, Context: opts.Context})
 		if err != nil {
 			return nil, err
+		}
+		if r.Stopped != propagation.StopNone {
+			// Only Context flows down from here, so a stop means the caller
+			// cancelled; surface it as their context's error.
+			if opts.Context != nil {
+				return nil, opts.Context.Err()
+			}
+			return nil, context.Canceled
 		}
 		if r.Propagated {
 			kept = append(kept, c)
 		}
 	}
-	cover, err := implication.MinCover(implication.UniverseOf(viewSchema), kept)
+	u := implication.UniverseOf(viewSchema)
+	finalSess := implication.NewSession(u)
+	finalSess.SetContext(opts.Context)
+	cover, err := finalSess.MinCover(kept)
 	if err != nil {
 		return nil, err
 	}

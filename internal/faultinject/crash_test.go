@@ -1,0 +1,391 @@
+//go:build faultinject
+
+package faultinject_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/faultinject"
+	"cfdprop/internal/implication"
+	"cfdprop/internal/parutil"
+	"cfdprop/internal/propagation"
+	"cfdprop/internal/rel"
+)
+
+// The randomized crash-safety suite: every test below runs hundreds of
+// seeded random fault schedules — panics, delays and forced cancellations
+// injected mid-chase, mid-borrow and mid-worker — and checks the stack's
+// robustness invariants: no injected fault leaks a pooled shard, deadlocks
+// a Pool, crashes a worker group, or breaks serial/parallel equivalence.
+// Run with: go test -race -tags faultinject ./internal/faultinject/
+
+// recoverInjected swallows an Injected panic (the expected outcome of a
+// Panic rule unwinding through a re-panicking boundary) and rethrows
+// anything else.
+func recoverInjected(t *testing.T) {
+	t.Helper()
+	if r := recover(); r != nil {
+		if _, ok := r.(faultinject.Injected); !ok {
+			panic(r)
+		}
+	}
+}
+
+// isInjectedErr reports whether an error is (or wraps the text of) an
+// injected fault captured at a worker boundary.
+func isInjectedErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "faultinject: injected panic")
+}
+
+// implWorkload: Σ is a transitive FD chain on V(A,B,C,D), so V(A→D) is
+// implied and V(B→A) is not.
+func implWorkload() (implication.Universe, []*cfd.CFD, *cfd.CFD, *cfd.CFD) {
+	schema := rel.InfiniteSchema("V", "A", "B", "C", "D")
+	u := implication.UniverseOf(schema)
+	sigma := []*cfd.CFD{
+		cfd.MustParse("V(A -> B)"),
+		cfd.MustParse("V(B -> C)"),
+		cfd.MustParse("V(C -> D)"),
+	}
+	return u, sigma, cfd.MustParse("V(A -> D)"), cfd.MustParse("V(B -> A)")
+}
+
+// propWorkload: a 3-disjunct union view over one source relation with a
+// chain Σ; V(A1→A5) propagates through the chain, V(A5→A1) does not.
+func propWorkload() (*rel.DBSchema, *algebra.SPCU, []*cfd.CFD, *cfd.CFD, *cfd.CFD) {
+	attrs := []string{"A1", "A2", "A3", "A4", "A5"}
+	db := rel.MustDBSchema(rel.InfiniteSchema("R1", attrs...))
+	var sigma []*cfd.CFD
+	for i := 0; i+1 < len(attrs); i++ {
+		sigma = append(sigma, cfd.MustParse(fmt.Sprintf("R1(%s -> %s)", attrs[i], attrs[i+1])))
+	}
+	ds := make([]*algebra.SPC, 3)
+	for d := range ds {
+		ds[d] = &algebra.SPC{
+			Name:       "V",
+			Atoms:      []algebra.RelAtom{{Source: "R1", Attrs: attrs}},
+			Selection:  []algebra.EqAtom{{Left: "A5", IsConst: true, Right: fmt.Sprintf("%d", d+1)}},
+			Projection: attrs,
+		}
+	}
+	view, err := algebra.NewSPCU("V", ds...)
+	if err != nil {
+		panic(err)
+	}
+	return db, view, sigma, cfd.MustParse("V(A1 -> A4)"), cfd.MustParse("V(A4 -> A1)")
+}
+
+// TestPoolSurvivesRandomFaults hammers a 3-shard Pool with concurrent
+// Implies calls while random panics and delays fire at the borrow, return
+// and chase-step seams. After every schedule the pool must still hold all
+// of its shards (no leak: all three can be borrowed without blocking) and
+// answer implication queries correctly (no corrupted shard state).
+func TestPoolSurvivesRandomFaults(t *testing.T) {
+	defer faultinject.Reset()
+	u, sigma, phiYes, phiNo := implWorkload()
+	sites := []string{
+		faultinject.SitePoolBorrow,
+		faultinject.SitePoolReturn,
+		faultinject.SiteImplicationStep,
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var rules []faultinject.Rule
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			r := faultinject.Rule{
+				Site: sites[rng.Intn(len(sites))],
+				Nth:  int64(1 + rng.Intn(15)),
+				Act:  faultinject.Panic,
+			}
+			if rng.Intn(2) == 0 {
+				r.Act = faultinject.Delay
+				r.Delay = time.Duration(rng.Intn(20)) * time.Microsecond
+			}
+			rules = append(rules, r)
+		}
+		faultinject.Install(rules...)
+
+		pool := implication.NewPool(u, 3)
+		if err := pool.SetSigma(sigma); err != nil {
+			t.Fatalf("seed %d: SetSigma: %v", seed, err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for k := 0; k < 5; k++ {
+					func() {
+						defer recoverInjected(t)
+						phi, want := phiYes, true
+						if (g+k)%2 == 1 {
+							phi, want = phiNo, false
+						}
+						ok, err := pool.Implies(phi)
+						if err != nil {
+							if !isInjectedErr(err) {
+								t.Errorf("seed %d: Implies error: %v", seed, err)
+							}
+							return
+						}
+						if ok != want {
+							t.Errorf("seed %d: Implies(%s) = %v, want %v", seed, phi, ok, want)
+						}
+					}()
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		// Faults off: the pool must be whole and sane.
+		faultinject.Reset()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shards := make([]*implication.Session, 0, pool.Size())
+		for i := 0; i < pool.Size(); i++ {
+			s, err := pool.BorrowCtx(ctx)
+			if err != nil {
+				t.Fatalf("seed %d: shard %d leaked: BorrowCtx: %v", seed, i, err)
+			}
+			ok, err := s.Implies(phiYes)
+			if err != nil || !ok {
+				t.Fatalf("seed %d: shard %d corrupted: Implies = %v, %v", seed, i, ok, err)
+			}
+			shards = append(shards, s)
+		}
+		for _, s := range shards {
+			pool.Return(s)
+		}
+		cancel()
+	}
+}
+
+// TestMinCoverScreenSurvivesFaults drives Pool.MinCover — whose screen
+// phase fans candidates across shards — under injected chase-step panics.
+// A fault must surface as an error or an Injected panic, never a deadlock
+// or a lost shard, and a fault-free retry must give the reference cover.
+func TestMinCoverScreenSurvivesFaults(t *testing.T) {
+	defer faultinject.Reset()
+	u, sigma, _, _ := implWorkload()
+	// Redundant Σ so MinCover has real screening work.
+	work := append([]*cfd.CFD{cfd.MustParse("V(A -> C)"), cfd.MustParse("V(A -> D)")}, sigma...)
+
+	pool := implication.NewPool(u, 3)
+	if err := pool.SetSigma(sigma); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := pool.MinCover(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		faultinject.Install(faultinject.Rule{
+			Site: faultinject.SiteImplicationStep,
+			Nth:  int64(1 + rng.Intn(40)),
+			Act:  faultinject.Panic,
+		})
+		func() {
+			defer recoverInjected(t)
+			cover, err := pool.MinCover(work)
+			if err != nil {
+				if !isInjectedErr(err) && !strings.Contains(err.Error(), "screen panic") {
+					t.Errorf("seed %d: MinCover error: %v", seed, err)
+				}
+				return
+			}
+			if len(cover) != len(ref) {
+				t.Errorf("seed %d: cover size %d, want %d", seed, len(cover), len(ref))
+			}
+		}()
+
+		faultinject.Reset()
+		cover, err := pool.MinCover(work)
+		if err != nil {
+			t.Fatalf("seed %d: fault-free retry failed: %v", seed, err)
+		}
+		for i := range cover {
+			if cover[i].Key() != ref[i].Key() {
+				t.Fatalf("seed %d: retry cover diverged at %d: %s vs %s", seed, i, cover[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestPropagationDelayEquivalence injects random delays into chase steps
+// and parallel worker task pickup, perturbing scheduling as hard as a
+// slow machine would, and checks the parallel Result stays byte-identical
+// to the fault-free serial reference.
+func TestPropagationDelayEquivalence(t *testing.T) {
+	defer faultinject.Reset()
+	db, view, sigma, phiYes, phiNo := propWorkload()
+
+	type refCase struct {
+		phi *cfd.CFD
+		ref *propagation.Result
+	}
+	var cases []refCase
+	for _, phi := range []*cfd.CFD{phiYes, phiNo} {
+		ref, err := propagation.Check(db, view, sigma, phi, propagation.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, refCase{phi, ref})
+	}
+
+	sites := []string{faultinject.SiteChaseStep, faultinject.SitePropWorker}
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		var rules []faultinject.Rule
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			rules = append(rules, faultinject.Rule{
+				Site:  sites[rng.Intn(len(sites))],
+				Nth:   int64(1 + rng.Intn(60)),
+				Act:   faultinject.Delay,
+				Delay: time.Duration(rng.Intn(50)) * time.Microsecond,
+			})
+		}
+		faultinject.Install(rules...)
+		for _, c := range cases {
+			res, err := propagation.Check(db, view, sigma, c.phi, propagation.Options{Parallelism: 4})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if res.Propagated != c.ref.Propagated || res.PairsChecked != c.ref.PairsChecked ||
+				res.Instantiations != c.ref.Instantiations || res.Truncated != c.ref.Truncated ||
+				res.Stopped != c.ref.Stopped {
+				t.Fatalf("seed %d: %s diverged under delays: %+v vs %+v", seed, c.phi, res, c.ref)
+			}
+		}
+	}
+}
+
+// TestPropagationWorkerPanicSurfaces arms a panic inside the parallel
+// pair-worker loop: Check must return it as an error (captured at the
+// worker boundary — no crash, no hung worker group), and a fault-free
+// rerun must match the reference.
+func TestPropagationWorkerPanicSurfaces(t *testing.T) {
+	defer faultinject.Reset()
+	db, view, sigma, phiYes, _ := propWorkload()
+	ref, err := propagation.Check(db, view, sigma, phiYes, propagation.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(3000 + seed))
+		faultinject.Install(faultinject.Rule{
+			Site: faultinject.SitePropWorker,
+			Nth:  int64(1 + rng.Intn(6)), // the 3-disjunct union has 6 pair tasks
+			Act:  faultinject.Panic,
+		})
+		_, err := propagation.Check(db, view, sigma, phiYes, propagation.Options{Parallelism: 4})
+		if err == nil {
+			t.Fatalf("seed %d: injected worker panic did not surface", seed)
+		}
+		if !strings.Contains(err.Error(), "worker panic") {
+			t.Fatalf("seed %d: unexpected error: %v", seed, err)
+		}
+
+		faultinject.Reset()
+		res, err := propagation.Check(db, view, sigma, phiYes, propagation.Options{Parallelism: 4})
+		if err != nil || res.Propagated != ref.Propagated || res.PairsChecked != ref.PairsChecked {
+			t.Fatalf("seed %d: fault-free rerun diverged: %+v, %v", seed, res, err)
+		}
+	}
+}
+
+// TestPropagationCancelInjection fires a context cancellation from inside a
+// random chase step and checks the stop contract: never an error, Stopped
+// is either clear (the run won the race) with the reference Result, or
+// StopCancelled; and a refutation is only ever reported definitively
+// (Propagated false implies Stopped clear).
+func TestPropagationCancelInjection(t *testing.T) {
+	defer faultinject.Reset()
+	db, view, sigma, phiYes, phiNo := propWorkload()
+	refYes, err := propagation.Check(db, view, sigma, phiYes, propagation.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(4000 + seed))
+		phi, ref := phiYes, refYes
+		if seed%2 == 1 {
+			phi, ref = phiNo, nil
+		}
+		par := 1 + 3*rng.Intn(2) // 1 or 4
+		ctx, cancel := context.WithCancel(context.Background())
+		faultinject.Install(faultinject.Rule{
+			Site:   faultinject.SiteChaseStep,
+			Nth:    int64(1 + rng.Intn(200)),
+			Act:    faultinject.Cancel,
+			Cancel: cancel,
+		})
+		res, err := propagation.Check(db, view, sigma, phi, propagation.Options{Parallelism: par, Context: ctx})
+		cancel()
+		if err != nil {
+			t.Fatalf("seed %d: cancellation surfaced as error: %v", seed, err)
+		}
+		switch res.Stopped {
+		case propagation.StopNone:
+			if ref != nil && (res.Propagated != ref.Propagated || res.PairsChecked != ref.PairsChecked) {
+				t.Fatalf("seed %d: unstopped run diverged: %+v vs %+v", seed, res, ref)
+			}
+			if ref == nil && res.Propagated {
+				t.Fatalf("seed %d: refutable φ reported propagated without a stop", seed)
+			}
+		case propagation.StopCancelled:
+			if !res.Propagated {
+				t.Fatalf("seed %d: refutation must be definitive (Stopped clear), got %+v", seed, res)
+			}
+		default:
+			t.Fatalf("seed %d: unexpected stop reason %s", seed, res.Stopped)
+		}
+	}
+}
+
+// TestParutilWorkerPanicCaptured arms panics at the shared worker seam and
+// checks DoCtx returns an error — never a crash or WaitGroup deadlock —
+// on both the serial and parallel paths, with fault-free items unharmed.
+func TestParutilWorkerPanicCaptured(t *testing.T) {
+	defer faultinject.Reset()
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(5000 + seed))
+		const n = 20
+		nth := int64(1 + rng.Intn(n))
+		workers := []int{1, 4}[rng.Intn(2)]
+		faultinject.Install(faultinject.Rule{
+			Site: faultinject.SiteParutilWorker,
+			Nth:  nth,
+			Act:  faultinject.Panic,
+		})
+		hits := make([]bool, n)
+		err := parutil.DoCtx(context.Background(), n, workers, func(i int) { hits[i] = true })
+		if err == nil {
+			t.Fatalf("seed %d: injected worker panic did not surface", seed)
+		}
+		if !strings.Contains(err.Error(), "worker panic") {
+			t.Fatalf("seed %d: unexpected error: %v", seed, err)
+		}
+		faultinject.Reset()
+		// The panicked item's fn never ran; no other slot may be corrupted.
+		ran := 0
+		for _, h := range hits {
+			if h {
+				ran++
+			}
+		}
+		if ran >= n {
+			t.Fatalf("seed %d: all items report done despite a panicked worker", seed)
+		}
+	}
+}

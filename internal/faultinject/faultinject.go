@@ -1,0 +1,34 @@
+// Package faultinject is a test-only fault-injection seam for the
+// propagation stack. Library code marks interesting execution points —
+// chase steps, pool shard hand-offs, worker-loop iterations — by calling
+// Hit with a site name. In normal builds Hit is an empty function that the
+// compiler inlines away, so the instrumented hot paths pay nothing.
+//
+// Building with -tags faultinject activates the layer (active.go): tests
+// install Rules that panic, delay, or fire a cancellation at the nth visit
+// of a site, which is how the randomized crash-safety suite
+// (crash_test.go) proves that no injected fault leaks a pooled sym.State,
+// deadlocks an implication.Pool, or breaks the serial/parallel result
+// equivalence of propagation.Check.
+package faultinject
+
+// Site names instrumented by the library. They live in the always-built
+// file so call sites and the tagged test suite share one vocabulary.
+const (
+	// SiteChaseStep fires once per worklist pop of chase.Inst.Run.
+	SiteChaseStep = "chase.step"
+	// SiteImplicationStep fires once per worklist pop of the implication
+	// session's two-row chase.
+	SiteImplicationStep = "implication.chase.step"
+	// SitePoolBorrow fires inside implication.Pool.Borrow after a shard has
+	// been taken, before it is handed to the caller.
+	SitePoolBorrow = "pool.borrow"
+	// SitePoolReturn fires inside implication.Pool.Return before the shard
+	// re-enters the free list.
+	SitePoolReturn = "pool.return"
+	// SiteParutilWorker fires once per item inside parutil.Do/DoCtx workers.
+	SiteParutilWorker = "parutil.worker"
+	// SitePropWorker fires once per schedule task inside the parallel
+	// propagation worker loop.
+	SitePropWorker = "propagation.worker"
+)

@@ -1,0 +1,13 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether the fault-injection layer is compiled in.
+const Enabled = false
+
+// Hit marks a fault-injection site. In normal builds it is an empty
+// function the compiler inlines away.
+func Hit(site string) {}
+
+// Reset clears installed rules and hit counters; a no-op in normal builds.
+func Reset() {}

@@ -1,0 +1,169 @@
+package implication
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+func controlWorkload(t *testing.T) (Universe, []*cfd.CFD, *cfd.CFD, *cfd.CFD) {
+	t.Helper()
+	u := UniverseOf(rel.InfiniteSchema("V", "A", "B", "C", "D"))
+	sigma := []*cfd.CFD{
+		cfd.MustParse("V(A -> B)"),
+		cfd.MustParse("V(B -> C)"),
+		cfd.MustParse("V(C -> D)"),
+	}
+	return u, sigma, cfd.MustParse("V(A -> D)"), cfd.MustParse("V(B -> A)")
+}
+
+// TestSessionCancelThenResetReuse: a cancelled context surfaces as the
+// context's error from Implies, and Reset returns the session to a fully
+// reusable quiescent state — same answers as a fresh session.
+func TestSessionCancelThenResetReuse(t *testing.T) {
+	u, sigma, phiYes, phiNo := controlWorkload(t)
+	s := NewSession(u)
+	if err := s.SetSigma(sigma); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(ctx)
+	if _, err := s.Implies(phiYes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Implies under cancelled context = %v, want context.Canceled", err)
+	}
+	s.Reset()
+	for i := 0; i < 3; i++ { // reuse repeatedly: Reset must not be one-shot
+		if ok, err := s.Implies(phiYes); err != nil || !ok {
+			t.Fatalf("reuse %d: Implies(%s) = %v, %v; want true", i, phiYes, ok, err)
+		}
+		if ok, err := s.Implies(phiNo); err != nil || ok {
+			t.Fatalf("reuse %d: Implies(%s) = %v, %v; want false", i, phiNo, ok, err)
+		}
+	}
+}
+
+// TestSessionMinCoverCancelled: MinCover under a cancelled context returns
+// the context's error rather than a partial cover.
+func TestSessionMinCoverCancelled(t *testing.T) {
+	u, sigma, _, _ := controlWorkload(t)
+	s := NewSession(u)
+	if err := s.SetSigma(nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(ctx)
+	work := append([]*cfd.CFD{cfd.MustParse("V(A -> C)")}, sigma...)
+	if _, err := s.MinCover(work); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MinCover under cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+// TestBorrowSurfacesRecompileError is the regression test for the former
+// pool-shard recompile panic: a pool whose Σ cannot compile (planted
+// behind SetSigma's validation, as a buggy caller could) must surface an
+// error from Borrow — and the shard must return to the pool, so the pool
+// neither crashes nor shrinks.
+func TestBorrowSurfacesRecompileError(t *testing.T) {
+	u, sigma, phiYes, _ := controlWorkload(t)
+	pool := NewPool(u, 2)
+	if err := pool.SetSigma(sigma); err != nil {
+		t.Fatal(err)
+	}
+	// Plant an uncompilable Σ: V(Z → A) mentions an attribute outside the
+	// universe, which SetSigma would have rejected.
+	pool.mu.Lock()
+	pool.sigma = []*cfd.CFD{cfd.MustParse("V(Z -> A)")}
+	pool.gen++
+	pool.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// More borrows than shards: every one must fail cleanly, proving the
+	// failing shard re-enters the pool each time instead of leaking.
+	for i := 0; i < 3*pool.Size(); i++ {
+		s, err := pool.BorrowCtx(ctx)
+		if err == nil {
+			pool.Return(s)
+			t.Fatal("Borrow accepted an uncompilable pool Σ")
+		}
+		if !strings.Contains(err.Error(), "recompile failed") {
+			t.Fatalf("borrow %d: unexpected error: %v", i, err)
+		}
+	}
+	if _, err := pool.Implies(phiYes); err == nil {
+		t.Fatal("Implies must propagate the recompile error")
+	}
+
+	// A valid SetSigma heals the pool: all shards borrowable and correct.
+	if err := pool.SetSigma(sigma); err != nil {
+		t.Fatal(err)
+	}
+	var shards []*Session
+	for i := 0; i < pool.Size(); i++ {
+		s, err := pool.BorrowCtx(ctx)
+		if err != nil {
+			t.Fatalf("shard %d not recovered: %v", i, err)
+		}
+		if ok, err := s.Implies(phiYes); err != nil || !ok {
+			t.Fatalf("shard %d: Implies = %v, %v; want true", i, ok, err)
+		}
+		shards = append(shards, s)
+	}
+	for _, s := range shards {
+		pool.Return(s)
+	}
+}
+
+// TestBorrowCtxUnblocksOnCancel: BorrowCtx blocked on an empty pool gives
+// up with the context's error instead of waiting forever.
+func TestBorrowCtxUnblocksOnCancel(t *testing.T) {
+	u, sigma, _, _ := controlWorkload(t)
+	pool := NewPool(u, 1)
+	if err := pool.SetSigma(sigma); err != nil {
+		t.Fatal(err)
+	}
+	only, err := pool.Borrow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := pool.BorrowCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("BorrowCtx on exhausted pool = %v, want context.DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("BorrowCtx did not give up promptly")
+	}
+	pool.Return(only)
+	if _, err := pool.Borrow(); err != nil {
+		t.Fatalf("pool unusable after a cancelled borrow: %v", err)
+	}
+}
+
+// TestPoolContextStampedOnBorrow: Pool.SetContext makes borrowed shards
+// observe cancellation, and clearing it restores normal service.
+func TestPoolContextStampedOnBorrow(t *testing.T) {
+	u, sigma, phiYes, _ := controlWorkload(t)
+	pool := NewPool(u, 2)
+	if err := pool.SetSigma(sigma); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pool.SetContext(ctx)
+	if _, err := pool.Implies(phiYes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Implies with cancelled pool context = %v, want context.Canceled", err)
+	}
+	pool.SetContext(nil)
+	if ok, err := pool.Implies(phiYes); err != nil || !ok {
+		t.Fatalf("Implies after clearing context = %v, %v; want true", ok, err)
+	}
+}

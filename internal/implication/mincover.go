@@ -1,6 +1,8 @@
 package implication
 
 import (
+	"context"
+
 	"cfdprop/internal/cfd"
 )
 
@@ -37,6 +39,31 @@ func NewSession(u Universe) *Session {
 func (s *Session) SetSigma(sigma []*cfd.CFD) error {
 	s.poolDirty = true // a pool owner must recompile before reuse
 	return s.inner.setSigma(cfd.NormalizeAll(sigma))
+}
+
+// SetContext installs a cancellation context checked inside the worklist
+// chase of subsequent queries; a cancelled context surfaces as the
+// context's error from Implies/MinCover. Pass nil to clear. Cancellation
+// never corrupts the session: after Reset (or a fresh SetSigma) it is
+// fully reusable.
+func (s *Session) SetContext(ctx context.Context) { s.inner.setContext(ctx) }
+
+// Reset returns a session that stopped mid-query — cancelled, or recovered
+// from a panic — to the quiescent state it had just after its last
+// SetSigma: pooled chase state cleared, no skip/tombstones, no context.
+// The compiled Σ is kept.
+func (s *Session) Reset() {
+	in := s.inner
+	in.st.Reset()
+	in.setContext(nil)
+	in.setSkip(-1)
+	for i := range in.dead {
+		in.dead[i] = false
+	}
+	for i := range in.sharedOn {
+		in.sharedOn[i] = false
+	}
+	in.fp.dirty = true
 }
 
 // Implies reports whether the compiled Σ implies φ (infinite-domain

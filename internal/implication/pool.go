@@ -1,11 +1,14 @@
 package implication
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"cfdprop/internal/cfd"
+	"cfdprop/internal/faultinject"
 )
 
 // Pool is a sharded, goroutine-safe front-end over Session: N independent
@@ -20,6 +23,11 @@ import (
 // MinCover are safe to call from any number of goroutines; MinCover never
 // blocks waiting for more than one shard (extra shards are acquired
 // opportunistically), so concurrent MinCover calls cannot deadlock.
+//
+// Fault tolerance: every path that takes a shard out of the channel —
+// Borrow, Return, Implies, MinCover — restores it even when the work on it
+// panics (the shard is tagged dirty so the next Borrow recompiles it), so
+// an injected or genuine fault can never leak a shard and shrink the pool.
 type Pool struct {
 	u        Universe
 	sessions chan *Session
@@ -29,6 +37,8 @@ type Pool struct {
 	sigma   []*cfd.CFD // normalized pool Σ (nil until SetSigma)
 	gen     uint64     // bumped by SetSigma; 0 means "empty Σ"
 	created int        // sessions minted so far (≤ size)
+
+	ctx atomic.Pointer[context.Context] // stamped onto borrowed shards
 }
 
 // NewPool builds a pool of up to n sessions over the universe; n <= 0
@@ -42,6 +52,25 @@ func NewPool(u Universe, n int) *Pool {
 	return &Pool{u: u.indexed(), size: n, sessions: make(chan *Session, n)}
 }
 
+// SetContext installs a cancellation context stamped onto every shard at
+// Borrow time (and consulted by BorrowCtx while blocking); queries on
+// borrowed shards then return the context's error once it is cancelled.
+// Pass nil to clear.
+func (p *Pool) SetContext(ctx context.Context) {
+	if ctx == nil {
+		p.ctx.Store(nil)
+		return
+	}
+	p.ctx.Store(&ctx)
+}
+
+func (p *Pool) context() context.Context {
+	if c := p.ctx.Load(); c != nil {
+		return *c
+	}
+	return nil
+}
+
 // take hands out a shard, minting a new one while the pool is below
 // capacity; it blocks only once all size shards exist and are out.
 func (p *Pool) take() *Session {
@@ -49,6 +78,22 @@ func (p *Pool) take() *Session {
 		return s
 	}
 	return <-p.sessions
+}
+
+// takeCtx is take that gives up when ctx is cancelled while blocking.
+func (p *Pool) takeCtx(ctx context.Context) (*Session, error) {
+	if s, ok := p.tryTake(); ok {
+		return s, nil
+	}
+	if ctx == nil {
+		return <-p.sessions, nil
+	}
+	select {
+	case s := <-p.sessions:
+		return s, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // tryTake is take without blocking; it reports failure when every shard
@@ -96,41 +141,113 @@ func (p *Pool) SetSigma(sigma []*cfd.CFD) error {
 }
 
 // Borrow hands out exclusive ownership of one shard, with the pool's Σ
-// compiled. It blocks only when all shards are out.
-func (p *Pool) Borrow() *Session {
-	s := p.take()
-	p.refresh(s)
-	return s
+// compiled and the pool's context (if any) installed. It blocks only when
+// all shards are out. A shard recompile failure — possible when the pool Σ
+// was planted without going through SetSigma's validation — surfaces as an
+// error, with the shard safely back in the pool.
+func (p *Pool) Borrow() (*Session, error) {
+	return p.BorrowCtx(p.context())
+}
+
+// BorrowCtx is Borrow that also stops blocking (returning the context's
+// error) when ctx is cancelled while waiting for a free shard. A nil ctx
+// falls back to the pool's context.
+func (p *Pool) BorrowCtx(ctx context.Context) (*Session, error) {
+	if ctx == nil {
+		ctx = p.context()
+	}
+	s, err := p.takeCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.prepare(s, ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// prepare refreshes a taken shard and stamps the context onto it. On any
+// failure — including a panic out of recompilation — the shard goes back
+// to the pool tagged dirty before the error (or re-panic) propagates.
+func (p *Pool) prepare(s *Session, ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.poolDirty = true
+			p.sessions <- s
+			panic(r)
+		}
+		if err != nil {
+			s.poolDirty = true
+			p.sessions <- s
+		}
+	}()
+	faultinject.Hit(faultinject.SitePoolBorrow)
+	if err := p.refresh(s); err != nil {
+		return err
+	}
+	s.SetContext(ctx)
+	return nil
 }
 
 // Return gives a borrowed shard back. Callers that changed the session's
 // Σ (e.g. by running Session.MinCover on it) must not mark it themselves —
 // Pool methods that do so tag the session dirty, and Borrow recompiles.
-func (p *Pool) Return(s *Session) { p.sessions <- s }
+// Return never loses the shard: if the faultinject seam (or anything else)
+// panics, the shard re-enters the pool dirty before the panic propagates.
+func (p *Pool) Return(s *Session) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.poolDirty = true
+			p.sessions <- s
+			panic(r)
+		}
+	}()
+	faultinject.Hit(faultinject.SitePoolReturn)
+	s.SetContext(nil)
+	p.sessions <- s
+}
 
-// refresh recompiles the pool Σ into a stale shard.
-func (p *Pool) refresh(s *Session) {
+// refresh recompiles the pool Σ into a stale shard. A compile failure is
+// reported rather than panicking: it cannot happen for a Σ that passed
+// SetSigma (compilation is deterministic in (universe, Σ)), but a caller
+// that bypassed validation must get an error, not a crash.
+func (p *Pool) refresh(s *Session) error {
 	p.mu.Lock()
 	sigma, gen := p.sigma, p.gen
 	p.mu.Unlock()
 	if s.poolGen == gen && !s.poolDirty {
-		return
+		return nil
 	}
 	if err := s.inner.setSigma(sigma); err != nil {
-		// Unreachable: the same Σ compiled successfully in SetSigma, and
-		// compilation is deterministic in (universe, Σ).
-		panic("implication: pool shard recompile failed: " + err.Error())
+		return fmt.Errorf("implication: pool shard recompile failed: %w", err)
 	}
 	s.poolGen = gen
 	s.poolDirty = false
+	return nil
 }
 
 // Implies reports whether the pool's Σ implies φ. Safe for concurrent use;
-// each call runs on one exclusively borrowed shard.
+// each call runs on one exclusively borrowed shard. A panic during the
+// query (e.g. an injected fault) still returns the shard to the pool.
 func (p *Pool) Implies(phi *cfd.CFD) (bool, error) {
-	s := p.Borrow()
-	defer p.Return(s)
+	s, err := p.Borrow()
+	if err != nil {
+		return false, err
+	}
+	defer p.returnRecovered(s)
 	return s.Implies(phi)
+}
+
+// returnRecovered is Return for defer sites that may unwind through a
+// panic: the shard is reset and handed back dirty, then the panic resumes.
+func (p *Pool) returnRecovered(s *Session) {
+	if r := recover(); r != nil {
+		s.Reset()
+		s.poolDirty = true
+		p.sessions <- s
+		panic(r)
+	}
+	p.Return(s)
 }
 
 // MinCover computes the minimal cover of sigma exactly as Session.MinCover
@@ -150,10 +267,17 @@ func (p *Pool) Implies(phi *cfd.CFD) (bool, error) {
 //
 // The screen uses however many shards are free at call time (at least the
 // one running the call), so concurrent MinCover calls degrade gracefully
-// instead of deadlocking.
+// instead of deadlocking. A panic inside a screen worker is recovered at
+// the worker boundary and surfaces as an error; every shard returns to the
+// pool regardless.
 func (p *Pool) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
-	s0 := p.take() // raw: minCoverPrep compiles its own work set
-	defer p.Return(s0)
+	ctx := p.context()
+	s0, err := p.takeCtx(ctx) // raw: minCoverPrep compiles its own work set
+	if err != nil {
+		return nil, err
+	}
+	s0.SetContext(ctx)
+	defer p.returnRecovered(s0)
 
 	work, err := s0.minCoverPrep(sigma)
 	if err != nil {
@@ -179,6 +303,7 @@ func (p *Pool) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 			}
 			return nil, err
 		}
+		s.SetContext(ctx)
 		extra = append(extra, s)
 	}
 	defer func() {
@@ -191,6 +316,10 @@ func (p *Pool) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 	}
 
 	// Parallel screen: maybe[i] reports work[i] implied by work − {work[i]}.
+	// Each worker recovers its own panics so a fault in one shard's query
+	// surfaces as an error on that candidate instead of crashing the
+	// process or deadlocking the WaitGroup; the faulted shard is Reset so
+	// it re-enters the pool quiescent (it is already tagged dirty).
 	maybe := make([]bool, len(work))
 	errs := make([]error, len(work))
 	var next atomic.Int64
@@ -198,8 +327,17 @@ func (p *Pool) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 	screen := func(sess *Session) {
 		defer wg.Done()
 		inner := sess.inner
+		i := -1
+		defer func() {
+			if r := recover(); r != nil {
+				if i >= 0 && i < len(work) {
+					errs[i] = fmt.Errorf("implication: mincover screen panic on candidate %d: %v", i, r)
+				}
+				sess.Reset()
+			}
+		}()
 		for {
-			i := int(next.Add(1) - 1)
+			i = int(next.Add(1) - 1)
 			if i >= len(work) {
 				inner.setSkip(-1)
 				return

@@ -1,11 +1,19 @@
 package implication
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"cfdprop/internal/cfd"
+	"cfdprop/internal/faultinject"
 	"cfdprop/internal/sym"
 )
+
+// errConflict is the internal sentinel for "the chase became undefined":
+// the premise cannot be realized under Σ. It never escapes the package —
+// implies translates it into a (true, nil) vacuous-implication result.
+var errConflict = errors.New("implication: chase undefined")
 
 // session is the incremental implication engine behind Implies-style
 // queries: Σ is compiled once against the universe and indexed by the
@@ -43,6 +51,11 @@ type session struct {
 	// Invariant between calls: sharedOn is all-false.
 	sharedOn  []bool
 	sharedPat []cfd.Pattern
+
+	// Cooperative cancellation, installed by setContext: the worklist chase
+	// polls done periodically and aborts with ctx's error.
+	ctx  context.Context
+	done <-chan struct{}
 
 	fp fastPath
 }
@@ -138,6 +151,17 @@ func (s *session) setSigma(sigma []*cfd.CFD) error {
 	return nil
 }
 
+// setContext installs (or, with nil, clears) a cancellation context
+// checked inside the worklist chase.
+func (s *session) setContext(ctx context.Context) {
+	s.ctx = ctx
+	if ctx != nil {
+		s.done = ctx.Done()
+	} else {
+		s.done = nil
+	}
+}
+
 // alive reports whether the i-th compiled CFD participates in queries.
 func (s *session) alive(i int) bool { return !s.dead[i] && i != s.skip }
 
@@ -213,10 +237,11 @@ func (s *session) buildColIndex() {
 	s.idxDirty = false
 }
 
-// chase runs the two-row (or one-row) worklist chase to fixpoint. Returns
-// false when the chase is undefined (conflict), meaning the premise cannot
-// be realized under Σ.
-func (s *session) chase(rows [][]sym.Term) bool {
+// chase runs the two-row (or one-row) worklist chase to fixpoint. It
+// returns nil on fixpoint, errConflict when the chase is undefined
+// (conflict — the premise cannot be realized under Σ), or the context's
+// error when a context installed via setContext is cancelled mid-chase.
+func (s *session) chase(rows [][]sym.Term) error {
 	st := s.st
 	if s.idxDirty {
 		s.buildColIndex()
@@ -246,7 +271,7 @@ func (s *session) chase(rows [][]sym.Term) bool {
 		if cc.c.Equality {
 			for _, r := range rows {
 				if st.Equate(r[cc.lhs[0]], r[cc.rhs[0]]) != nil {
-					return false
+					return errConflict
 				}
 			}
 			continue
@@ -273,6 +298,16 @@ func (s *session) chase(rows [][]sym.Term) bool {
 	s.drainEvents(rows)
 
 	for qh := 0; qh < len(s.queue); qh++ {
+		faultinject.Hit(faultinject.SiteImplicationStep)
+		// The two-row template bounds the worklist, so one poll per pop is
+		// cheap relative to the chase work and keeps cancellation prompt.
+		if s.done != nil {
+			select {
+			case <-s.done:
+				return s.ctx.Err()
+			default:
+			}
+		}
 		i := s.queue[qh]
 		s.inQ[i] = false
 		if !s.alive(int(i)) {
@@ -287,11 +322,11 @@ func (s *session) chase(rows [][]sym.Term) bool {
 				for k, it := range cc.c.RHS {
 					x, y := rows[a][cc.rhs[k]], rows[b][cc.rhs[k]]
 					if st.Equate(x, y) != nil {
-						return false
+						return errConflict
 					}
 					if !it.Pat.Wildcard {
 						if st.Bind(x, it.Pat.Const) != nil {
-							return false
+							return errConflict
 						}
 					}
 				}
@@ -299,7 +334,7 @@ func (s *session) chase(rows [][]sym.Term) bool {
 		}
 		s.drainEvents(rows)
 	}
-	return true
+	return nil
 }
 
 // drainEvents empties the state's change journal, re-enqueueing the CFDs
@@ -398,6 +433,16 @@ func (s *session) clearShared(phi *cfd.CFD) {
 // implies decides Σ |= φ using the compiled Σ (infinite-domain setting;
 // phi must be in normal form and validated against the universe).
 func (s *session) implies(phi *cfd.CFD) (bool, error) {
+	// The chase loop polls the context too, but the closure fast paths
+	// answer many queries without ever chasing — poll once up front so a
+	// cancelled session refuses all queries, not just the slow ones.
+	if s.done != nil {
+		select {
+		case <-s.done:
+			return false, s.ctx.Err()
+		default:
+		}
+	}
 	if phi.Equality {
 		a, ok1 := s.u.pos(phi.LHS[0].Attr)
 		b, ok2 := s.u.pos(phi.RHS[0].Attr)
@@ -414,8 +459,12 @@ func (s *session) implies(phi *cfd.CFD) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		if !s.chase(rows) {
+		switch err := s.chase(rows); err {
+		case nil:
+		case errConflict:
 			return true, nil // no tuple can exist
+		default:
+			return false, err
 		}
 		return s.st.SameTerm(rows[0][a], rows[0][b]), nil
 	}
@@ -442,8 +491,12 @@ func (s *session) implies(phi *cfd.CFD) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if !s.chase(rows) {
+	switch err := s.chase(rows); err {
+	case nil:
+	case errConflict:
 		return true, nil // premise unsatisfiable: vacuously implied
+	default:
+		return false, err
 	}
 	st := s.st
 	a1 := st.Resolve(rows[0][ai])

@@ -6,38 +6,116 @@
 package parutil
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"cfdprop/internal/faultinject"
 )
 
 // Do runs fn(0) … fn(n-1) across at most workers goroutines and returns
 // when all calls finish. workers <= 1 (or n < 2) degrades to a plain
 // serial loop on the calling goroutine. fn must be safe to call from
 // multiple goroutines on distinct items.
+//
+// Do preserves its historical contract: a panicking fn propagates as a
+// panic on the caller (it is captured at the worker boundary and re-raised
+// here, so it never deadlocks the WaitGroup).
 func Do(n, workers int, fn func(i int)) {
+	if err := DoCtx(context.Background(), n, workers, fn); err != nil {
+		panic(err)
+	}
+}
+
+// DoCtx is Do with cooperative cancellation and panic capture. Workers
+// check ctx between items and stop claiming new ones once it is done;
+// items already started run to completion. A panicking fn is recovered at
+// the worker boundary and surfaces as a non-nil error (never a process
+// crash or a WaitGroup deadlock). When both occur, the panic error wins.
+// Returns ctx.Err() if the context was cancelled, nil otherwise.
+func DoCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+			if err := call(fn, i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		stop.Store(true)
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1) - 1)
 				if i >= n {
 					return
 				}
-				fn(i)
+				if err := call(fn, i); err != nil {
+					record(err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if done != nil {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// call invokes fn(i) with the faultinject seam and panic recovery.
+func call(fn func(i int), i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parutil: worker panic on item %d: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	faultinject.Hit(faultinject.SiteParutilWorker)
+	fn(i)
+	return nil
 }

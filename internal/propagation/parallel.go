@@ -1,11 +1,14 @@
 package propagation
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"cfdprop/internal/algebra"
 	"cfdprop/internal/cfd"
+	"cfdprop/internal/faultinject"
 	"cfdprop/internal/rel"
 	"cfdprop/internal/sym"
 )
@@ -49,7 +52,8 @@ type pairTask struct {
 
 // taskOutcome is one schedule entry's contribution to the Result.
 type taskOutcome struct {
-	skipped   bool // cancelled past the final bound; contributes nothing
+	skipped   bool       // cancelled past the final bound; contributes nothing
+	stopped   StopReason // a stop control fired before this task started
 	err       error
 	refuted   bool
 	insts     int // applicable assignments examined (serial-equivalent)
@@ -185,6 +189,15 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 					outcomes[t].skipped = true
 					continue
 				}
+				// Stop controls are observed before a task starts, mirroring
+				// the serial loop's check before each pairCheck; the bound
+				// makes every later entry skip, so the assembly sees the
+				// stop at the lowest schedule index that observed it.
+				if r := opts.stopCheck(); r != StopNone {
+					outcomes[t].stopped = r
+					bound.min(int64(t))
+					continue
+				}
 				task := sched[t]
 				if task.kind == taskEmptyFirst || task.kind == taskEmptySecond {
 					continue // zero outcome: counts one pair, nothing else
@@ -196,8 +209,9 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 						bound.min(int64(t))
 						continue
 					}
+					w.attach(opts)
 				}
-				outcomes[t] = runEvalTask(w, db, view, sigmaN, phi, opts, task, t, &bound, innerP)
+				outcomes[t] = safeRunEvalTask(w, db, view, sigmaN, phi, opts, task, t, &bound, innerP)
 				if outcomes[t].err != nil || outcomes[t].refuted {
 					bound.min(int64(t))
 				}
@@ -216,12 +230,23 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 		if o.skipped {
 			continue
 		}
+		if o.stopped != StopNone {
+			// The stop fired before this pair started: like the serial
+			// loop's pre-pair check, it contributes no counters.
+			res.Stopped = o.stopped
+			return res, nil
+		}
 		res.PairsChecked++
 		res.Instantiations += o.insts
 		if o.truncated {
 			res.Truncated = true
 		}
 		if o.err != nil {
+			if r := stopReasonOf(o.err); r != StopNone {
+				// Stop mid-pair: the pair's partial counters stand.
+				res.Stopped = r
+				return res, nil
+			}
 			return nil, o.err
 		}
 		if o.refuted {
@@ -233,6 +258,20 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 		}
 	}
 	return res, nil
+}
+
+// safeRunEvalTask is runEvalTask behind the faultinject seam and a panic
+// boundary: a panicking worker surfaces as an error on its schedule entry
+// (ordered against refutations by the bound/assembly logic like any other
+// error) instead of crashing the process.
+func safeRunEvalTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, task pairTask, taskIdx int, bound *atomicMin, innerP int) (out taskOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = taskOutcome{err: fmt.Errorf("propagation: worker panic on schedule entry %d: %v\n%s", taskIdx, r, debug.Stack())}
+		}
+	}()
+	faultinject.Hit(faultinject.SitePropWorker)
+	return runEvalTask(w, db, view, sigmaN, phi, opts, task, taskIdx, bound, innerP)
 }
 
 // prepare builds the task's pair state in w and returns its evaluate
@@ -366,12 +405,23 @@ func scanParallel(w *pairWorker, evaluate func() (bool, error), db *rel.DBSchema
 	for c := 1; c < chunks; c++ {
 		go func(c int) {
 			defer wg.Done()
+			// A panic in a sub-worker becomes a stop event at the chunk's
+			// first index, so assembly treats it as an error there instead
+			// of deadlocking or crashing.
+			defer func() {
+				if r := recover(); r != nil {
+					lo := chunkLo(plan.limit, chunks, c)
+					results[c] = chunkResult{stopIdx: lo, stopErr: fmt.Errorf("propagation: enumeration worker panic: %v\n%s", r, debug.Stack())}
+					inner.min(int64(lo))
+				}
+			}()
 			cw, err := newPairWorker(db)
 			if err != nil {
 				results[c] = chunkResult{stopIdx: chunkLo(plan.limit, chunks, c), stopErr: err}
 				inner.min(int64(results[c].stopIdx))
 				return
 			}
+			cw.attach(opts)
 			evaluate, ok, err := prepareTask(cw, db, view, sigmaN, phi, task)
 			if err != nil {
 				results[c] = chunkResult{stopIdx: chunkLo(plan.limit, chunks, c), stopErr: err}
@@ -444,6 +494,17 @@ func scanChunk(w *pairWorker, db *rel.DBSchema, opts Options, plan enumPlan, eva
 		if int64(taskIdx) > bound.load() {
 			r.aborted = true
 			return r
+		}
+		// Poll the stop controls directly (the chase may take no steps on a
+		// small Σ); the stop becomes an error event at this index so the
+		// prefix counters stay exact.
+		if idx&63 == 0 && opts.sp != nil {
+			if reason := opts.sp.check(); reason != StopNone {
+				r.stopIdx = idx
+				r.stopErr = opts.sp.errFor(reason)
+				inner.min(int64(idx))
+				return r
+			}
 		}
 		st.Restore(base)
 		plan.decode(idx, choice)

@@ -34,9 +34,11 @@
 package propagation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"cfdprop/internal/algebra"
 	"cfdprop/internal/cfd"
@@ -68,6 +70,27 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 runs the serial reference path. Results
 	// are identical at every setting.
 	Parallelism int
+	// Context, when non-nil, cancels the check cooperatively: the pair
+	// loops, the finite-domain enumerations and the chase worklists all
+	// poll it. Cancellation surfaces as Result.Stopped = StopCancelled (or
+	// StopDeadline when the context's own deadline expired), never as an
+	// error. nil means no cancellation.
+	Context context.Context
+	// Deadline, when > 0, bounds the whole Check call's wall-clock time;
+	// expiry surfaces as Result.Stopped = StopDeadline. It composes with
+	// Context (whichever fires first wins).
+	Deadline time.Duration
+	// MaxChaseSteps, when > 0, bounds the total number of chase worklist
+	// steps the whole call may spend, shared across all workers — a
+	// deterministic resource budget alongside the per-pair
+	// MaxInstantiations cap. Exhaustion surfaces as Result.Stopped =
+	// StopChaseBudget; with a fixed budget and Parallelism = 1 the partial
+	// Result is fully deterministic.
+	MaxChaseSteps int64
+
+	// sp carries the call's stop controls through the internal pair loops;
+	// set by Check, never by callers.
+	sp *stopper
 }
 
 // DefaultMaxInstantiations caps finite-domain enumeration.
@@ -89,6 +112,15 @@ type Result struct {
 	// set together with Propagated, the answer is "no counterexample
 	// found within the cap", not a proof of propagation.
 	Truncated bool
+	// Stopped reports that a whole-call stop control fired — the context
+	// was cancelled, the deadline expired, or the chase-step budget ran
+	// out — before the check completed. Like Truncated, Propagated then
+	// means only "no counterexample found before the stop". A refutation
+	// found before the stop is definitive: it is returned with Propagated
+	// false and Stopped clear. The counters reflect exactly the work
+	// finished before the stop, and for a fixed stop point (e.g. a fixed
+	// MaxChaseSteps at Parallelism 1) the partial Result is deterministic.
+	Stopped StopReason
 }
 
 // ErrFiniteDomains is returned when the infinite-domain procedure is asked
@@ -129,6 +161,11 @@ func Check(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.CFD,
 	}
 	sigmaN := cfd.NormalizeAll(sigma)
 
+	if sp := newStopper(opts); sp != nil {
+		defer sp.release()
+		opts.sp = sp
+	}
+
 	total := &Result{Propagated: true}
 	for _, p := range phi.Normalize() {
 		var r *Result
@@ -147,6 +184,10 @@ func Check(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.CFD,
 		if !r.Propagated {
 			total.Propagated = false
 			total.Counterexample = r.Counterexample
+			return total, nil
+		}
+		if r.Stopped != StopNone {
+			total.Stopped = r.Stopped
 			return total, nil
 		}
 	}
@@ -183,6 +224,14 @@ func newPairWorker(db *rel.DBSchema) (*pairWorker, error) {
 func (w *pairWorker) reset() {
 	w.st.Reset()
 	w.ci.Reset()
+}
+
+// attach installs the call's stop controls (context + shared chase-step
+// budget) onto the worker's chase instance; a no-op without controls.
+func (w *pairWorker) attach(opts Options) {
+	if opts.sp != nil {
+		w.ci.SetControl(opts.sp.ctx, opts.sp.steps)
+	}
 }
 
 // Outcomes of preparePair / prepareEquality.
@@ -292,12 +341,33 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 	if err != nil {
 		return nil, err
 	}
+	w.attach(opts)
+
+	// stopOn folds one check's error into res: a stop control firing ends
+	// the loop with the partial result (counters kept, Stopped set); any
+	// other error propagates. The stop check runs BEFORE each pair, so a
+	// pair never half-counts: PairsChecked covers exactly the pairs whose
+	// check began.
+	stopOn := func(err error) (done bool, rerr error) {
+		if err == nil {
+			return false, nil
+		}
+		if r := stopReasonOf(err); r != StopNone {
+			res.Stopped = r
+			return true, nil
+		}
+		return true, err
+	}
 
 	if phi.Equality {
 		for i := 0; i < k; i++ {
+			if r := opts.stopCheck(); r != StopNone {
+				res.Stopped = r
+				return res, nil
+			}
 			ok, err := equalityCheck(w, db, view.Disjuncts[i], sigmaN, phi, opts, res)
-			if err != nil {
-				return nil, err
+			if done, rerr := stopOn(err); done {
+				return res, rerr
 			}
 			if !ok {
 				res.Propagated = false
@@ -315,9 +385,13 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 			if emptyDisjunct[j] {
 				continue
 			}
+			if r := opts.stopCheck(); r != StopNone {
+				res.Stopped = r
+				return res, nil
+			}
 			ok, markEmpty, err := pairCheck(w, db, view.Disjuncts[i], view.Disjuncts[j], sigmaN, phi, opts, res)
-			if err != nil {
-				return nil, err
+			if done, rerr := stopOn(err); done {
+				return res, rerr
 			}
 			switch markEmpty {
 			case 1:
@@ -473,6 +547,14 @@ func runSetting(ci *chase.Inst, db *rel.DBSchema, opts Options, res *Result, eva
 	base := st.Save()
 	choice := make([]int, len(plan.roots))
 	for idx := 0; idx < plan.limit; idx++ {
+		// Poll the stop controls directly: with an empty (or quickly
+		// fixpointed) Σ the chase may take no steps, so the enumeration loop
+		// itself must observe cancellation.
+		if idx&63 == 0 && opts.sp != nil {
+			if r := opts.sp.check(); r != StopNone {
+				return false, 0, opts.sp.errFor(r)
+			}
+		}
 		st.Restore(base)
 		plan.decode(idx, choice)
 		applicable := true
