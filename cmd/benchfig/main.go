@@ -6,7 +6,12 @@
 // Usage:
 //
 //	benchfig [-exp all|fig5|fig6|fig7|fig8|table1|table2|blowup|parallel]
-//	         [-trials N] [-seed S] [-sigma N] [-quick] [-parallel N]
+//	         [-trials N] [-seed S] [-sigma N] [-quick] [-parallel N] [-json]
+//
+// -json replaces the text tables with one machine-readable report whose
+// "host" stamp records the run date, Go version, GOMAXPROCS and CPU count
+// — so a result file carries its own 1-CPU caveat when the process had a
+// single scheduling slot.
 //
 // The parallel experiment emits a worker-scaling table (1, 2, 4 and
 // GOMAXPROCS workers) for the §3 decision procedure on a multi-pair union
@@ -19,13 +24,13 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"cfdprop/internal/bench"
+	"cfdprop/internal/cliutil"
 )
 
 func main() {
@@ -34,78 +39,73 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	sigma := flag.Int("sigma", 2000, "|Sigma| for the figure sweeps that fix it")
 	quick := flag.Bool("quick", false, "reduced grids for a fast smoke run")
-	parallel := flag.Int("parallel", 0, "worker count for the figure sweeps (0 = GOMAXPROCS, 1 = serial)")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unbounded); hitting it exits with status 3")
+	jsonOut := flag.Bool("json", false, "emit one JSON report (with host info: go version, GOMAXPROCS, CPUs, date) instead of text tables")
+	common := cliutil.RegisterCommon(flag.CommandLine, "the figure sweeps")
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := common.Context()
+	defer cancel()
 
-	cfg := bench.Config{Seed: *seed, Trials: *trials, SigmaSize: *sigma, Parallelism: *parallel, Ctx: ctx}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, SigmaSize: *sigma, Parallelism: common.Parallel, Ctx: ctx}
 	if *quick {
 		cfg.SigmaSize = 400
 		cfg.Trials = 1
 		cfg.VarPcts = []int{40}
 	}
 
+	// With -json results accumulate into one report (stamped with host
+	// info) and print at the end; otherwise each experiment prints its
+	// text tables as it finishes.
+	report := &bench.Report{Host: bench.HostInfo()}
 	run := func(name string) error {
 		switch name {
-		case "fig5":
-			xs := []int(nil)
-			if *quick {
-				xs = []int{100, 200, 400}
+		case "fig5", "fig6", "fig7", "fig8":
+			var xs []int
+			sweep := bench.Fig5
+			switch name {
+			case "fig5":
+				if *quick {
+					xs = []int{100, 200, 400}
+				}
+			case "fig6":
+				sweep = bench.Fig6
+				if *quick {
+					xs = []int{5, 15, 25}
+				}
+			case "fig7":
+				sweep = bench.Fig7
+				if *quick {
+					xs = []int{1, 5, 10}
+				}
+			case "fig8":
+				sweep = bench.Fig8
+				if *quick {
+					xs = []int{2, 4, 6}
+				}
 			}
-			series, err := bench.Fig5(cfg, xs)
+			series, err := sweep(cfg, xs)
 			if err != nil {
 				return err
 			}
-			bench.Print(os.Stdout, series)
-		case "fig6":
-			xs := []int(nil)
-			if *quick {
-				xs = []int{5, 15, 25}
+			if *jsonOut {
+				report.Series = append(report.Series, series...)
+			} else {
+				bench.Print(os.Stdout, series)
 			}
-			series, err := bench.Fig6(cfg, xs)
+		case "table1", "table2":
+			title := "Table 1: complexity of CFD propagation (demonstrated)"
+			if name == "table2" {
+				title = "Table 2: complexity of FD propagation (demonstrated)"
+			}
+			rows, err := bench.RunTable(name == "table1")
 			if err != nil {
 				return err
 			}
-			bench.Print(os.Stdout, series)
-		case "fig7":
-			xs := []int(nil)
-			if *quick {
-				xs = []int{1, 5, 10}
+			if *jsonOut {
+				report.Tables = append(report.Tables, bench.Table{Title: title, Rows: rows})
+			} else {
+				bench.PrintTable(os.Stdout, title, rows)
 			}
-			series, err := bench.Fig7(cfg, xs)
-			if err != nil {
-				return err
-			}
-			bench.Print(os.Stdout, series)
-		case "fig8":
-			xs := []int(nil)
-			if *quick {
-				xs = []int{2, 4, 6}
-			}
-			series, err := bench.Fig8(cfg, xs)
-			if err != nil {
-				return err
-			}
-			bench.Print(os.Stdout, series)
-		case "table1":
-			rows, err := bench.RunTable(true)
-			if err != nil {
-				return err
-			}
-			bench.PrintTable(os.Stdout, "Table 1: complexity of CFD propagation (demonstrated)", rows)
-		case "table2":
-			rows, err := bench.RunTable(false)
-			if err != nil {
-				return err
-			}
-			bench.PrintTable(os.Stdout, "Table 2: complexity of FD propagation (demonstrated)", rows)
 		case "blowup":
 			ns := []int{2, 4, 6, 8, 10}
 			if *quick {
@@ -115,13 +115,21 @@ func main() {
 			if err != nil {
 				return err
 			}
-			bench.PrintBlowup(os.Stdout, points)
+			if *jsonOut {
+				report.Blowup = points
+			} else {
+				bench.PrintBlowup(os.Stdout, points)
+			}
 		case "parallel":
 			cases, err := bench.ParallelScaling(cfg, bench.DefaultParallelWorkers())
 			if err != nil {
 				return err
 			}
-			bench.PrintParallel(os.Stdout, cases)
+			if *jsonOut {
+				report.Parallel = cases
+			} else {
+				bench.PrintParallel(os.Stdout, cases)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -150,15 +158,15 @@ func main() {
 	select {
 	case err := <-errc:
 		if err != nil {
-			if ctx.Err() != nil {
-				fmt.Fprintf(os.Stderr, "benchfig: stopped early: %v\n", err)
-				os.Exit(3)
-			}
-			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
-			os.Exit(1)
+			cliutil.FatalStopped("benchfig", ctx, err)
 		}
 	case <-ctx.Done():
 		fmt.Fprintf(os.Stderr, "benchfig: %v\n", ctx.Err())
-		os.Exit(3)
+		os.Exit(cliutil.ExitStopped)
+	}
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			cliutil.Fatal("benchfig", err)
+		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"cfdprop/internal/cfd"
+	"cfdprop/internal/cliutil"
 	"cfdprop/internal/parutil"
 	"cfdprop/internal/rel"
 )
@@ -53,21 +54,16 @@ func main() {
 	cfdsPath := flag.String("cfds", "", "file with one CFD per line")
 	relation := flag.String("relation", "R", "relation name the CFDs are defined on")
 	all := flag.Bool("all", false, "report every violation, not only the first per CFD")
-	parallel := flag.Int("parallel", 0, "worker count for rule validation (0 = GOMAXPROCS, 1 = serial)")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unbounded)")
+	common := cliutil.RegisterCommon(flag.CommandLine, "rule validation")
 	flag.Parse()
 
 	if *dataPath == "" || *cfdsPath == "" {
 		fmt.Fprintln(os.Stderr, "cfdcheck: -data and -cfds are required")
-		os.Exit(2)
+		os.Exit(cliutil.ExitUsage)
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := common.Context()
+	defer cancel()
 
 	in, err := loadCSV(*dataPath, *relation)
 	if err != nil {
@@ -78,10 +74,9 @@ func main() {
 		fatal(err)
 	}
 
-	results, err := checkRules(ctx, in, rules, *parallel)
+	results, err := checkRules(ctx, in, rules, common.Parallel)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cfdcheck: %v\n", err)
-		os.Exit(3)
+		cliutil.FatalStopped("cfdcheck", ctx, err)
 	}
 	// Errors (bad rule vs schema) surface before any per-rule output, in
 	// rule order, so serial and parallel runs report identically.

@@ -6,6 +6,8 @@
 //	propcfd -spec spec.json            # print the minimal propagation cover
 //	propcfd -spec spec.json -check "V([A=1] -> [B])"
 //	                                   # decide whether the CFD is propagated
+//	propcfd -spec spec.json -server http://127.0.0.1:7419
+//	                                   # same queries answered by a propcfdd daemon
 //	propcfd -example                   # print a ready-to-edit example spec
 //
 // The spec format is documented in internal/spec: relations (attributes
@@ -15,16 +17,23 @@
 // and unions via the sound candidate heuristic; -check decides any
 // SPC/SPCU view exactly, switching to the general-setting procedure when
 // finite domains are declared.
+//
+// With -server the spec is sent to a running propcfdd instance instead of
+// being computed in-process; the client retries 429/503 answers (the
+// daemon's shed/drain contract) with backoff, honoring Retry-After.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"cfdprop/internal/cfd"
+	"cfdprop/internal/cliutil"
 	"cfdprop/internal/core"
+	"cfdprop/internal/daemon"
 	"cfdprop/internal/propagation"
 	"cfdprop/internal/spec"
 )
@@ -51,16 +60,12 @@ func main() {
 	check := flag.String("check", "", "decide propagation of this view CFD instead of printing the cover")
 	example := flag.Bool("example", false, "print an example spec and exit")
 	heuristic := flag.Int("max-cover", 0, "heuristic bound on the working cover size (0 = exact)")
-	parallel := flag.Int("parallel", 0, "worker count for the pair loop and cover subroutines (0 = GOMAXPROCS, 1 = serial)")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the computation (0 = unbounded); -check reports a partial verdict, cover computations exit with status 3")
+	server := flag.String("server", "", "base URL of a propcfdd daemon; queries are sent there instead of computed locally")
+	common := cliutil.RegisterCommon(flag.CommandLine, "the pair loop and cover subroutines")
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := common.Context()
+	defer cancel()
 
 	if *example {
 		fmt.Println(exampleSpec)
@@ -68,26 +73,32 @@ func main() {
 	}
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "propcfd: -spec is required (see -example)")
-		os.Exit(2)
+		os.Exit(cliutil.ExitUsage)
 	}
 	data, err := os.ReadFile(*specPath)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal("propcfd", err)
 	}
+
+	if *server != "" {
+		remote(ctx, *server, data, *check, *heuristic, common)
+		return
+	}
+
 	db, sigma, view, err := spec.Decode(data)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal("propcfd", err)
 	}
 
 	if *check != "" {
 		phi, err := cfd.Parse(*check)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal("propcfd", err)
 		}
 		res, err := propagation.Check(db, view, sigma, phi,
-			propagation.Options{General: db.HasFiniteAttr(), WantCounterexample: true, Parallelism: *parallel, Context: ctx})
+			propagation.Options{General: db.HasFiniteAttr(), WantCounterexample: true, Parallelism: common.Parallel, Context: ctx})
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal("propcfd", err)
 		}
 		if res.Truncated {
 			fmt.Println("# warning: finite-domain enumeration hit the instantiation cap; a propagated verdict is not exhaustive")
@@ -109,13 +120,13 @@ func main() {
 				}
 			}
 		}
-		os.Exit(1)
+		os.Exit(cliutil.ExitFailure)
 	}
 
 	if len(view.Disjuncts) == 1 {
-		res, err := core.PropCFDSPC(db, view.Disjuncts[0], sigma, core.Options{MaxCoverSize: *heuristic, Parallelism: *parallel, Context: ctx})
+		res, err := core.PropCFDSPC(db, view.Disjuncts[0], sigma, core.Options{MaxCoverSize: *heuristic, Parallelism: common.Parallel, Context: ctx})
 		if err != nil {
-			fatalCtx(ctx, err)
+			cliutil.FatalStopped("propcfd", ctx, err)
 		}
 		if res.AlwaysEmpty {
 			fmt.Println("# view is empty for every source satisfying the CFDs")
@@ -129,9 +140,9 @@ func main() {
 		}
 		return
 	}
-	res, err := core.PropCFDSPCU(db, view, sigma, core.Options{MaxCoverSize: *heuristic, Parallelism: *parallel, Context: ctx})
+	res, err := core.PropCFDSPCU(db, view, sigma, core.Options{MaxCoverSize: *heuristic, Parallelism: common.Parallel, Context: ctx})
 	if err != nil {
-		fatalCtx(ctx, err)
+		cliutil.FatalStopped("propcfd", ctx, err)
 	}
 	fmt.Printf("# propagated CFDs on the union (%d CFDs, sound candidate heuristic) on %s\n",
 		len(res.Cover), res.ViewSchema)
@@ -140,18 +151,72 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "propcfd: %v\n", err)
-	os.Exit(1)
-}
-
-// fatalCtx reports a cover-computation failure, distinguishing a -timeout
-// (or other cancellation) expiry with exit status 3: a cover is all-or-
-// nothing, so unlike -check there is no partial verdict to print.
-func fatalCtx(ctx context.Context, err error) {
-	if ctx.Err() != nil {
-		fmt.Fprintf(os.Stderr, "propcfd: stopped early: %v\n", err)
-		os.Exit(3)
+// remote answers the same queries through a propcfdd daemon. The output
+// format matches the local paths so scripts can switch with just -server.
+func remote(ctx context.Context, base string, data []byte, check string, heuristic int, common *cliutil.Common) {
+	var problem spec.Problem
+	if err := json.Unmarshal(data, &problem); err != nil {
+		cliutil.Fatal("propcfd", fmt.Errorf("spec: %w", err))
 	}
-	fatal(err)
+	client := &daemon.Client{Base: base}
+	deadlineMillis := common.Timeout.Milliseconds()
+
+	if check != "" {
+		resp, err := client.Check(ctx, &daemon.CheckRequest{
+			Spec:               &problem,
+			Phi:                check,
+			WantCounterexample: true,
+			Parallelism:        common.Parallel,
+			DeadlineMillis:     deadlineMillis,
+		})
+		if err != nil {
+			cliutil.FatalStopped("propcfd", ctx, err)
+		}
+		res := resp.Results[0]
+		if res.Truncated {
+			fmt.Println("# warning: finite-domain enumeration hit the instantiation cap; a propagated verdict is not exhaustive")
+		}
+		if res.Stopped != propagation.StopNone {
+			fmt.Printf("# warning: check stopped early (%s); a propagated verdict only means no counterexample was found before the stop\n", res.Stopped)
+		}
+		if res.Propagated {
+			fmt.Printf("PROPAGATED: %s\n", res.Phi)
+			return
+		}
+		fmt.Printf("NOT PROPAGATED: %s\n", res.Phi)
+		if len(res.Counterexample) > 0 {
+			fmt.Println("counterexample source database:")
+			for _, wr := range res.Counterexample {
+				fmt.Printf("%s(%v)\n", wr.Name, wr.Attrs)
+				for _, t := range wr.Tuples {
+					fmt.Printf("  %v\n", t)
+				}
+			}
+		}
+		os.Exit(cliutil.ExitFailure)
+	}
+
+	resp, err := client.Cover(ctx, &daemon.CoverRequest{
+		Spec:           &problem,
+		MaxCoverSize:   heuristic,
+		Parallelism:    common.Parallel,
+		DeadlineMillis: deadlineMillis,
+	})
+	if err != nil {
+		cliutil.FatalStopped("propcfd", ctx, err)
+	}
+	if resp.AlwaysEmpty {
+		fmt.Println("# view is empty for every source satisfying the CFDs")
+	}
+	if resp.Truncated {
+		fmt.Println("# heuristic bound reached: this is a subset of a cover")
+	}
+	kind := "minimal propagation cover"
+	if !resp.Exact {
+		kind = "propagated CFDs on the union (sound candidate heuristic)"
+	}
+	fmt.Printf("# %s (%d CFDs) on %s [universe %s]\n", kind, len(resp.Cover), resp.ViewSchema, resp.Universe)
+	for _, c := range resp.Cover {
+		fmt.Println(c)
+	}
 }

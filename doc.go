@@ -50,10 +50,28 @@
 // internal/faultinject is the test-only seam behind those guarantees: a
 // no-op in normal builds, and under -tags faultinject a rule engine that
 // injects panics, delays and forced cancellations at chase steps, pool
-// hand-offs and worker boundaries, driven by the randomized crash-safety
-// suite under -race.
+// hand-offs, worker boundaries and the daemon's request/cache/drain seams,
+// driven by the randomized crash-safety suite under -race.
 //
-// Entry points: cmd/propcfd (compute covers), cmd/cfdcheck (validate data
-// against CFDs), cmd/benchfig (regenerate the paper's figures and tables);
-// all three take -timeout. Runnable walk-throughs live in examples/.
+// # The propagation daemon
+//
+// internal/daemon wraps the library as a crash-safe HTTP/JSON service,
+// served by cmd/propcfdd. It keeps compiled (Σ, V) universes warm in a
+// content-addressed LRU (register once, query by fingerprint; a Σ edit
+// re-keys the universe and retires the old pool), maps the body/header
+// budgets onto the stop semantics above ("stopped" in the response, never
+// an error), and degrades gracefully instead of falling over: bounded
+// admission with 429 + Retry-After shedding, per-request panic isolation
+// (a panic costs one 500, not the process), and SIGTERM draining that
+// completes in-flight work while refusing new work with 503. The
+// daemon.Client type retries 429/503 with backoff. Responses are
+// byte-identical to direct library calls — the crash suite enforces this
+// under injected faults.
+//
+// Entry points: cmd/propcfd (compute covers, or query a daemon with
+// -server), cmd/cfdcheck (validate data against CFDs), cmd/benchfig
+// (regenerate the paper's figures and tables; -json embeds a host stamp),
+// cmd/propcfdd (the daemon); all take -timeout, which exits with status 3
+// when the budget expires. Runnable walk-throughs live in examples/ —
+// examples/quickstart ends with the daemon workflow.
 package cfdprop

@@ -1,15 +1,55 @@
 // Quickstart: define a source schema and dependencies, define an SPC view,
-// and compute the minimal cover of all CFDs propagated to the view.
+// and compute the minimal cover of all CFDs propagated to the view — first
+// through the library, then through the propcfdd daemon's HTTP API.
+//
+// # Running the daemon
+//
+// The same computation is available as a service:
+//
+//	go run ./cmd/propcfdd -addr 127.0.0.1:7419
+//
+// propcfdd prints "propcfdd listening on ADDR" once up (port 0 picks a
+// free port). POST /v1/universe registers a compiled (Σ, V) universe and
+// returns its fingerprint; /v1/check, /v1/cover and /v1/implies then take
+// either an inline "spec" or that "universe" fingerprint — fingerprinted
+// queries reuse the warm compiled state and implication pool across
+// requests. PUT /v1/universe/{fp}/sigma edits Σ in place and returns a new
+// fingerprint (the old one 404s, so stale clients fail loudly).
+//
+// # Budgets
+//
+// Per-request budgets ride in the body ("deadline_ms", "max_chase_steps")
+// or the X-Propcfd-Deadline-Ms / X-Propcfd-Chase-Steps headers (the body
+// wins). A budget that expires is not an error: the request returns 200
+// with "stopped" set to "deadline" or "chase step budget" and the same
+// partial-result semantics as the library (a refutation found before the
+// stop is definitive).
+//
+// # Degradation contract
+//
+// The daemon sheds rather than queues unboundedly: when the in-flight and
+// queue limits are full it answers 429 with Retry-After, and during a
+// SIGTERM drain new work gets 503 with Retry-After while in-flight
+// requests run to completion. daemon.Client retries both statuses with
+// backoff, so callers see slowdown, not failure. /healthz stays 200 while
+// draining; /readyz flips to 503 so load balancers stop routing.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"time"
 
 	"cfdprop/internal/algebra"
 	"cfdprop/internal/cfd"
 	"cfdprop/internal/core"
+	"cfdprop/internal/daemon"
 	"cfdprop/internal/rel"
+	"cfdprop/internal/spec"
 )
 
 func main() {
@@ -55,5 +95,63 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("propagated? %-34s %v\n", phi, ok)
+	}
+
+	daemonQuickstart()
+}
+
+// daemonQuickstart runs the same questions through the daemon: an
+// in-process propcfdd (the binary serves the identical handler), the
+// retrying client, a registered universe, and a per-request deadline.
+func daemonQuickstart() {
+	srv := daemon.New(daemon.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	fmt.Printf("\ndaemon listening on %s\n", ln.Addr())
+
+	// The wire form of the view above: same relations, Σ and view, as the
+	// JSON a remote client would POST.
+	var problem spec.Problem
+	if err := json.Unmarshal([]byte(`{
+	  "relations": [{"name": "orders", "attrs": ["oid", "cust", "country", "tax", "item", "price"]}],
+	  "cfds": ["orders([oid] -> [cust, country, tax, item, price])",
+	           "orders([country=UK] -> [tax=20])"],
+	  "view": {"name": "uk_orders",
+	           "atoms": [{"source": "orders", "attrs": ["oid", "cust", "country", "tax", "item", "price"]}],
+	           "selection": [{"left": "country", "const": "UK"}],
+	           "projection": ["oid", "cust", "item", "price"]}
+	}`), &problem); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := &daemon.Client{Base: "http://" + ln.Addr().String()}
+
+	// Register once; subsequent queries by fingerprint hit the warm pool.
+	reg, err := client.Register(ctx, &daemon.UniverseRequest{Spec: &problem})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered universe %s (generation %d)\n", reg.Universe, reg.Generation)
+
+	// Same two questions, now with a 250ms deadline. On this tiny view the
+	// budget never fires; under load the response would come back with
+	// "stopped": "deadline" instead of failing.
+	resp, err := client.Check(ctx, &daemon.CheckRequest{
+		Universe:       reg.Universe,
+		Phis:           []string{"uk_orders([oid] -> [price])", "uk_orders([cust] -> [item])"},
+		DeadlineMillis: 250,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range resp.Results {
+		fmt.Printf("daemon: propagated? %-34s %v\n", r.Phi, r.Propagated)
 	}
 }

@@ -1,0 +1,78 @@
+// Package cliutil holds the flag wiring and exit-status conventions shared
+// by the repo's command-line tools (propcfd, cfdcheck, benchfig, propcfdd).
+// Every CLI takes the same -timeout and -parallel flags with the same
+// semantics, and a run stopped by its own -timeout exits with one agreed
+// status, ExitStopped (3), distinct from usage errors (2) and ordinary
+// failures (1).
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Exit statuses shared by all CLIs.
+const (
+	// ExitFailure is an ordinary error (bad input, violated CFDs, ...).
+	ExitFailure = 1
+	// ExitUsage is a command-line usage error.
+	ExitUsage = 2
+	// ExitStopped is a run cut short by its own -timeout (or an equivalent
+	// cancellation) before producing a complete answer.
+	ExitStopped = 3
+)
+
+// Common are the flags every CLI shares. Register them with RegisterCommon
+// before flag.Parse.
+type Common struct {
+	// Timeout is the wall-clock budget for the whole run; 0 = unbounded.
+	Timeout time.Duration
+	// Parallel is the worker count for parallelizable phases; 0 =
+	// GOMAXPROCS, 1 = serial.
+	Parallel int
+}
+
+// RegisterCommon registers the shared -timeout and -parallel flags on fs
+// (use flag.CommandLine for a main). parallelWhat names what -parallel
+// fans out, completing the help text ("the pair loop and cover
+// subroutines", "rule validation", ...).
+func RegisterCommon(fs *flag.FlagSet, parallelWhat string) *Common {
+	c := &Common{}
+	fs.DurationVar(&c.Timeout, "timeout", 0,
+		"wall-clock budget for the whole run (0 = unbounded); expiry exits with status 3")
+	fs.IntVar(&c.Parallel, "parallel", 0,
+		"worker count for "+parallelWhat+" (0 = GOMAXPROCS, 1 = serial)")
+	return c
+}
+
+// Context builds the run's root context from -timeout: a timeout context
+// when one was set, context.Background otherwise. Always defer cancel.
+func (c *Common) Context() (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		return context.WithTimeout(context.Background(), c.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// Fatal reports err prefixed with the tool name and exits ExitFailure.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	osExit(ExitFailure)
+}
+
+// FatalStopped is the one exit-status contract for -timeout expiry: when
+// the run's context has ended, err is reported as an early stop and the
+// process exits ExitStopped; otherwise it falls through to Fatal.
+func FatalStopped(tool string, ctx context.Context, err error) {
+	if ctx != nil && ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "%s: stopped early: %v\n", tool, err)
+		osExit(ExitStopped)
+	}
+	Fatal(tool, err)
+}
+
+// osExit is swapped out by tests.
+var osExit = os.Exit

@@ -1,0 +1,71 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"testing"
+	"time"
+)
+
+func TestRegisterCommonDefaultsAndParsing(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := RegisterCommon(fs, "the pair loop")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Timeout != 0 || c.Parallel != 0 {
+		t.Fatalf("defaults = %+v, want zero values", c)
+	}
+
+	fs = flag.NewFlagSet("x", flag.ContinueOnError)
+	c = RegisterCommon(fs, "the pair loop")
+	if err := fs.Parse([]string{"-timeout", "250ms", "-parallel", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Timeout != 250*time.Millisecond || c.Parallel != 4 {
+		t.Fatalf("parsed = %+v, want {250ms 4}", c)
+	}
+}
+
+func TestContextCarriesTimeout(t *testing.T) {
+	c := &Common{Timeout: time.Minute}
+	ctx, cancel := c.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("Context with Timeout set has no deadline")
+	}
+
+	c = &Common{}
+	ctx, cancel = c.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("Context without Timeout has a deadline")
+	}
+}
+
+// TestFatalStoppedExitContract pins the shared exit-status contract: an
+// expired context exits ExitStopped (3), anything else ExitFailure (1).
+func TestFatalStoppedExitContract(t *testing.T) {
+	var got int
+	osExit = func(code int) { got = code; panic("exit") }
+	defer func() { osExit = realExit }()
+	run := func(ctx context.Context) int {
+		defer func() { recover() }()
+		FatalStopped("t", ctx, errors.New("boom"))
+		return -1
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run(ctx)
+	if got != ExitStopped {
+		t.Fatalf("expired context: exit %d, want %d", got, ExitStopped)
+	}
+	run(context.Background())
+	if got != ExitFailure {
+		t.Fatalf("live context: exit %d, want %d", got, ExitFailure)
+	}
+}
+
+var realExit = osExit

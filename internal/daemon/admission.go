@@ -1,0 +1,143 @@
+package daemon
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admitStatus is the outcome of an admission attempt.
+type admitStatus int
+
+const (
+	// admitOK: the request holds an in-flight token; call release when done.
+	admitOK admitStatus = iota
+	// admitShed: over capacity — the queue is full or the queue wait
+	// elapsed. Maps to 429 + Retry-After.
+	admitShed
+	// admitDraining: the server is shutting down and takes no new work.
+	// Maps to 503 + Retry-After.
+	admitDraining
+	// admitCancelled: the client gave up (request context done) while
+	// queued. Maps to 499-style abandonment; the handler just returns.
+	admitCancelled
+)
+
+// admission is the server's load-shedding front door: a fixed budget of
+// in-flight tokens, a bounded wait queue in front of them, and a hard
+// switch to refusal once draining starts. Degradation is graceful by
+// construction — beyond capacity requests queue briefly, beyond the queue
+// they shed fast with a retry hint, and nothing new starts during drain.
+type admission struct {
+	tokens   chan struct{} // buffered; one token per in-flight request
+	queueMax int64         // max requests waiting for a token
+	wait     time.Duration // max time a queued request waits before shedding
+
+	queued    atomic.Int64
+	admitted  atomic.Int64 // total admissions (stats)
+	shed      atomic.Int64 // total sheds (stats)
+	draining  chan struct{}
+	drainOnce sync.Once
+}
+
+func newAdmission(maxInFlight, maxQueued int, wait time.Duration) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueued < 0 {
+		maxQueued = 0
+	}
+	if wait <= 0 {
+		wait = 50 * time.Millisecond
+	}
+	return &admission{
+		tokens:   make(chan struct{}, maxInFlight),
+		queueMax: int64(maxQueued),
+		wait:     wait,
+		draining: make(chan struct{}),
+	}
+}
+
+// admit tries to claim an in-flight token. On admitOK the caller MUST call
+// release exactly once.
+func (a *admission) admit(ctx context.Context) (release func(), status admitStatus) {
+	select {
+	case <-a.draining:
+		return nil, admitDraining
+	default:
+	}
+
+	// Fast path: a token is free.
+	select {
+	case a.tokens <- struct{}{}:
+		a.admitted.Add(1)
+		return a.release, admitOK
+	default:
+	}
+
+	// Saturated: queue if there is room, shed otherwise.
+	if a.queued.Add(1) > a.queueMax {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return nil, admitShed
+	}
+	defer a.queued.Add(-1)
+
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.tokens <- struct{}{}:
+		a.admitted.Add(1)
+		return a.release, admitOK
+	case <-timer.C:
+		a.shed.Add(1)
+		return nil, admitShed
+	case <-a.draining:
+		return nil, admitDraining
+	case <-ctx.Done():
+		return nil, admitCancelled
+	}
+}
+
+func (a *admission) release() { <-a.tokens }
+
+// beginDrain flips admission into refusal mode: queued requests fail with
+// admitDraining immediately, new ones never enter the queue. In-flight
+// tokens are unaffected — their requests run to completion.
+func (a *admission) beginDrain() {
+	a.drainOnce.Do(func() { close(a.draining) })
+}
+
+// isDraining reports whether beginDrain has been called.
+func (a *admission) isDraining() bool {
+	select {
+	case <-a.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// AdmissionStats is the /statusz view of the front door.
+type AdmissionStats struct {
+	InFlight int   `json:"in_flight"`
+	Capacity int   `json:"capacity"`
+	Queued   int64 `json:"queued"`
+	QueueMax int64 `json:"queue_max"`
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+	Draining bool  `json:"draining"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		InFlight: len(a.tokens),
+		Capacity: cap(a.tokens),
+		Queued:   a.queued.Load(),
+		QueueMax: a.queueMax,
+		Admitted: a.admitted.Load(),
+		Shed:     a.shed.Load(),
+		Draining: a.isDraining(),
+	}
+}

@@ -1,0 +1,334 @@
+package daemon
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/core"
+	"cfdprop/internal/faultinject"
+	"cfdprop/internal/implication"
+	"cfdprop/internal/rel"
+	"cfdprop/internal/spec"
+)
+
+// entry is one compiled (Σ, V) universe. The compiled artifacts — schema,
+// Σ, view, view schema — are immutable after construction: a Σ edit builds
+// a NEW entry (new fingerprint, generation + 1) rather than mutating one
+// that in-flight requests may be reading. Only the warm-pool state behind
+// mu is mutable.
+type entry struct {
+	fp    string
+	gen   uint64 // Σ-edit generation of this handle chain (starts at 1)
+	db    *rel.DBSchema
+	sigma []*cfd.CFD
+	view  *algebra.SPCU
+	vs    *rel.Schema // view schema
+
+	mu sync.Mutex
+	// pool is the warm implication.Pool over the view schema, its Σ set to
+	// the memoized cover — the cross-query cache the /v1/implies fast path
+	// runs on. Created lazily by the first cover computation and closed
+	// (with an async drain) when the entry is evicted.
+	pool     *implication.Pool
+	poolSize int
+	cover    *coverOutcome
+	closed   bool
+}
+
+// coverOutcome unifies the SPC (core.Result) and SPCU (core.UnionResult)
+// cover shapes into the one form the daemon serves and memoizes.
+type coverOutcome struct {
+	cover       []*cfd.CFD
+	alwaysEmpty bool
+	truncated   bool
+}
+
+// compileEntry builds an entry from a spec, fingerprinting the canonical
+// re-encoding of the *compiled* objects so syntactic variants of one
+// problem (whitespace, CFD ordering inside a line, resolved defaults) land
+// on the same cache key.
+func compileEntry(p *spec.Problem, poolSize int) (*entry, error) {
+	db, sigma, view, err := spec.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := view.ViewSchema(db)
+	if err != nil {
+		return nil, err
+	}
+	canonical, err := spec.Encode(db, sigma, view)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(canonical)
+	return &entry{
+		fp:       hex.EncodeToString(sum[:8]),
+		gen:      1,
+		db:       db,
+		sigma:    sigma,
+		view:     view,
+		vs:       vs,
+		poolSize: poolSize,
+	}, nil
+}
+
+// editSigma derives a new entry with Σ replaced, sharing the immutable
+// schema and view. The new entry starts cold (no pool, no cover memo):
+// invalidation is by construction, and the pool's own generation counter
+// handles the lazy shard recompiles once a new cover warms it.
+func (e *entry) editSigma(cfds []string) (*entry, error) {
+	sigma := make([]*cfd.CFD, 0, len(cfds))
+	for _, src := range cfds {
+		c, err := cfd.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		sigma = append(sigma, c)
+	}
+	if err := cfd.ValidateAll(sigma, e.db); err != nil {
+		return nil, err
+	}
+	canonical, err := spec.Encode(e.db, sigma, e.view)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(canonical)
+	return &entry{
+		fp:       hex.EncodeToString(sum[:8]),
+		gen:      e.gen + 1,
+		db:       e.db,
+		sigma:    sigma,
+		view:     e.view,
+		vs:       e.vs,
+		poolSize: e.poolSize,
+	}, nil
+}
+
+// ensureCover returns the entry's minimal cover, computing and memoizing
+// it (and warming the pool with it) on first need. Callers pass
+// parallelism for the computation only; the memoized result is identical
+// at every worker count. cached reports whether the memo was hit.
+// ErrPoolClosed reports the entry was evicted mid-flight.
+func (e *entry) ensureCover(ctx context.Context, parallelism int) (out *coverOutcome, cached bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, false, implication.ErrPoolClosed
+	}
+	if e.cover != nil {
+		return e.cover, true, nil
+	}
+	out, err = e.coverLocked(ctx, parallelism, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	if e.pool == nil {
+		e.pool = implication.NewPool(implication.UniverseOf(e.vs), e.poolSize)
+	}
+	// AlwaysEmpty covers hold Lemma 4.5's conflicting pair — a legitimate
+	// Σ for the pool (every view CFD is vacuously implied).
+	if err := e.pool.SetSigma(out.cover); err != nil {
+		return nil, false, err
+	}
+	e.cover = out
+	return out, false, nil
+}
+
+// coverWith runs a one-off cover with non-default knobs (a heuristic
+// MaxCoverSize); such results are never memoized, so the warm Σ is always
+// the exact cover.
+func (e *entry) coverWith(ctx context.Context, parallelism, maxCoverSize int) (*coverOutcome, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, implication.ErrPoolClosed
+	}
+	return e.coverLocked(ctx, parallelism, maxCoverSize)
+}
+
+// coverLocked runs the cover computation for this universe.
+func (e *entry) coverLocked(ctx context.Context, parallelism, maxCoverSize int) (*coverOutcome, error) {
+	opts := core.Options{Context: ctx, Parallelism: parallelism, MaxCoverSize: maxCoverSize}
+	if len(e.view.Disjuncts) == 1 {
+		res, err := core.PropCFDSPC(e.db, e.view.Disjuncts[0], e.sigma, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &coverOutcome{cover: res.Cover, alwaysEmpty: res.AlwaysEmpty, truncated: res.Truncated}, nil
+	}
+	res, err := core.PropCFDSPCU(e.db, e.view, e.sigma, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &coverOutcome{cover: res.Cover}, nil
+}
+
+// exact reports whether this universe's cover is exact (§4: single SPC
+// disjunct) rather than the sound union heuristic.
+func (e *entry) exact() bool { return len(e.view.Disjuncts) == 1 }
+
+// impliedByCover answers φ against the warm pool (Σ = memoized cover).
+func (e *entry) impliedByCover(ctx context.Context, parallelism int, phi *cfd.CFD) (bool, error) {
+	if _, _, err := e.ensureCover(ctx, parallelism); err != nil {
+		return false, err
+	}
+	e.mu.Lock()
+	pool := e.pool
+	e.mu.Unlock()
+	if pool == nil {
+		return false, implication.ErrPoolClosed
+	}
+	s, err := pool.BorrowCtx(ctx)
+	if err != nil {
+		return false, err
+	}
+	defer pool.Return(s) // Return clears the context again
+	s.SetContext(ctx)
+	return s.Implies(phi)
+}
+
+// close tears down the warm pool: no new borrows, and an asynchronous
+// drain bounded by drainTimeout releases the shards once in-flight
+// borrowers return them.
+func (e *entry) close(drainTimeout time.Duration) {
+	e.mu.Lock()
+	pool := e.pool
+	e.pool = nil
+	e.closed = true
+	e.mu.Unlock()
+	if pool == nil {
+		return
+	}
+	pool.Close()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		_ = pool.Drain(ctx) // best effort; a stuck borrower only delays GC
+	}()
+}
+
+// CacheStats is the /statusz view of the universe cache.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// cache is the LRU of compiled universes, keyed by (Σ, V) fingerprint.
+type cache struct {
+	mu        sync.Mutex
+	max       int
+	poolSize  int
+	drainWait time.Duration
+	entries   map[string]*list.Element // fp → element holding *entry
+	lru       *list.List               // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newCache(max, poolSize int, drainWait time.Duration) *cache {
+	if max < 1 {
+		max = 1
+	}
+	return &cache{
+		max:       max,
+		poolSize:  poolSize,
+		drainWait: drainWait,
+		entries:   make(map[string]*list.Element),
+		lru:       list.New(),
+	}
+}
+
+// lookup resolves a fingerprint, bumping its LRU position.
+func (c *cache) lookup(fp string) (*entry, bool) {
+	faultinject.Hit(faultinject.SiteDaemonCache)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+// getOrCompile resolves an inline spec through the cache: compile,
+// fingerprint, and either return the already-warm entry or insert the new
+// one (evicting the coldest when full). hit reports whether compilation
+// work was saved. Note the compile runs outside the lock — two concurrent
+// first requests may both compile, and the loser's entry is dropped in
+// favor of the winner's.
+func (c *cache) getOrCompile(p *spec.Problem) (e *entry, hit bool, err error) {
+	faultinject.Hit(faultinject.SiteDaemonCache)
+	fresh, err := compileEntry(p, c.poolSize)
+	if err != nil {
+		return nil, false, fmt.Errorf("spec: %w", err)
+	}
+	return c.insert(fresh)
+}
+
+// insert adds an entry, returning the existing one on a fingerprint hit.
+func (c *cache) insert(fresh *entry) (*entry, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[fresh.fp]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		e := el.Value.(*entry)
+		c.mu.Unlock()
+		return e, true, nil
+	}
+	c.misses++
+	c.entries[fresh.fp] = c.lru.PushFront(fresh)
+	var evicted []*entry
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		old := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, old.fp)
+		c.evictions++
+		evicted = append(evicted, old)
+	}
+	c.mu.Unlock()
+	for _, old := range evicted {
+		old.close(c.drainWait)
+	}
+	return fresh, false, nil
+}
+
+// replace atomically swaps an edited universe in: the old fingerprint
+// stops resolving (and its pool drains), the new entry takes its LRU slot.
+// If the old entry was already gone (concurrent edit or eviction), the new
+// one is still inserted — last writer wins, both outcomes are coherent.
+func (c *cache) replace(old, fresh *entry) (*entry, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[old.fp]; ok && el.Value.(*entry) == old {
+		c.lru.Remove(el)
+		delete(c.entries, old.fp)
+	}
+	c.mu.Unlock()
+	old.close(c.drainWait)
+	e, _, err := c.insert(fresh)
+	return e, err
+}
+
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.lru.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,399 @@
+//go:build faultinject
+
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cfdprop/internal/faultinject"
+	"cfdprop/internal/implication"
+	"cfdprop/internal/propagation"
+	"cfdprop/internal/spec"
+)
+
+// The daemon half of the randomized crash-safety suite: seeded fault
+// schedules — panics and delays at the request, cache and drain seams,
+// composed with the deeper chase/pool seams — against a live server.
+// Invariants: an injected panic costs at most a 500 for that request (the
+// server, its admission tokens and its pool shards survive), delays never
+// change response bytes, and after faults clear the daemon answers
+// byte-identically to a direct library call.
+// Run with: go test -race -tags faultinject ./internal/daemon/
+
+// checkBytes runs one /v1/check against the server and returns the raw
+// result bytes, or an error describing the non-200 outcome.
+func checkBytes(hs *httptest.Server, req *CheckRequest) (int, []byte, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(hs.URL+"/v1/check", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, buf.Bytes(), nil
+	}
+	var out struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	if len(out.Results) != 1 {
+		return resp.StatusCode, nil, fmt.Errorf("%d results", len(out.Results))
+	}
+	return resp.StatusCode, bytes.TrimSpace(out.Results[0]), nil
+}
+
+// assertPoolsWhole borrows every shard of every cached universe's warm
+// pool (with a timeout) and returns them: a leaked shard fails fast
+// instead of deadlocking the suite.
+func assertPoolsWhole(t *testing.T, srv *Server, tag string) {
+	t.Helper()
+	srv.cache.mu.Lock()
+	var entries []*entry
+	for _, el := range srv.cache.entries {
+		entries = append(entries, el.Value.(*entry))
+	}
+	srv.cache.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		pool := e.pool
+		e.mu.Unlock()
+		if pool == nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shards := make([]*implication.Session, 0, pool.Size())
+		for i := 0; i < pool.Size(); i++ {
+			s, err := pool.BorrowCtx(ctx)
+			if err != nil {
+				cancel()
+				t.Fatalf("%s: universe %s shard %d leaked: %v", tag, e.fp, i, err)
+			}
+			shards = append(shards, s)
+		}
+		for _, s := range shards {
+			pool.Return(s)
+		}
+		cancel()
+	}
+}
+
+// TestDaemonSurvivesRandomFaults is the core schedule sweep: 170 seeded
+// schedules arm 1–3 faults across the daemon seams (request, cache) and
+// the library seams beneath them, then fire concurrent traffic. Allowed
+// outcomes per request: byte-identical 200, an isolated 500 (injected
+// panic), or a 429/503 shed. Afterwards, with faults cleared, the daemon
+// must answer byte-identically to the direct library call and hold every
+// pool shard.
+func TestDaemonSurvivesRandomFaults(t *testing.T) {
+	defer faultinject.Reset()
+	problem := mustProblem(t, exampleSpecJSON)
+
+	// Fault-free references, straight from the library through ResultOf.
+	db, sigma, view, err := spec.Compile(problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phis := []string{"R(zip -> street)", "R(street -> zip)"}
+	refs := make(map[string][]byte, len(phis))
+	for _, phi := range phis {
+		res, err := propagation.Check(db, view, sigma, mustParseCFD(t, phi),
+			propagation.Options{WantCounterexample: true, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refs[phi], err = json.Marshal(ResultOf(phi, res, db)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sites := []string{
+		faultinject.SiteDaemonRequest,
+		faultinject.SiteDaemonCache,
+		faultinject.SiteChaseStep,
+		faultinject.SitePoolBorrow,
+	}
+	for seed := int64(0); seed < 170; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		srv, hs := newTestServer(t, Config{MaxInFlight: 2, MaxQueue: 2, QueueWait: 5 * time.Millisecond})
+
+		var rules []faultinject.Rule
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			r := faultinject.Rule{
+				Site: sites[rng.Intn(len(sites))],
+				Nth:  int64(1 + rng.Intn(10)),
+				Act:  faultinject.Panic,
+			}
+			if rng.Intn(2) == 0 {
+				r.Act = faultinject.Delay
+				r.Delay = time.Duration(rng.Intn(30)) * time.Microsecond
+			}
+			rules = append(rules, r)
+		}
+		faultinject.Install(rules...)
+
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				phi := phis[g%len(phis)]
+				code, got, err := checkBytes(hs, &CheckRequest{
+					Spec: problem, Phi: phi, WantCounterexample: true, Parallelism: 1,
+				})
+				if err != nil {
+					t.Errorf("seed %d: transport: %v", seed, err)
+					return
+				}
+				switch code {
+				case http.StatusOK:
+					if !bytes.Equal(got, refs[phi]) {
+						t.Errorf("seed %d: 200 under faults diverged:\n got %s\nwant %s", seed, got, refs[phi])
+					}
+				case http.StatusInternalServerError:
+					if !bytes.Contains(got, []byte("injected panic")) {
+						t.Errorf("seed %d: non-injected 500: %s", seed, got)
+					}
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					// Shed under fault-induced slowness: allowed.
+				default:
+					t.Errorf("seed %d: unexpected status %d: %s", seed, code, got)
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		// Faults off: full recovery, byte-identical answers, no leaked
+		// admission tokens, no leaked pool shards.
+		faultinject.Reset()
+		for _, phi := range phis {
+			code, got, err := checkBytes(hs, &CheckRequest{
+				Spec: problem, Phi: phi, WantCounterexample: true, Parallelism: 1,
+			})
+			if err != nil || code != http.StatusOK {
+				t.Fatalf("seed %d: fault-free request failed: %d %v %s", seed, code, err, got)
+			}
+			if !bytes.Equal(got, refs[phi]) {
+				t.Fatalf("seed %d: post-fault answer diverged:\n got %s\nwant %s", seed, got, refs[phi])
+			}
+		}
+		if st := srv.adm.stats(); st.InFlight != 0 {
+			t.Fatalf("seed %d: %d admission tokens leaked", seed, st.InFlight)
+		}
+		assertPoolsWhole(t, srv, fmt.Sprintf("seed %d", seed))
+		hs.Close()
+	}
+}
+
+// TestDrainCrashSchedules arms faults at the drain seam (between the
+// readiness flip and the admission switch) and at the request seam while
+// draining with traffic in flight. A panic mid-drain must leave the server
+// able to finish draining on retry; delays must not let a request slip
+// past a completed drain or hang the suite.
+func TestDrainCrashSchedules(t *testing.T) {
+	defer faultinject.Reset()
+	problem := mustProblem(t, exampleSpecJSON)
+
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(6000 + seed))
+		srv, hs := newTestServer(t, Config{MaxInFlight: 2, MaxQueue: 2})
+
+		// Warm the universe so drain races against real traffic.
+		if code, _, err := checkBytes(hs, &CheckRequest{Spec: problem, Phi: "R(zip -> street)"}); err != nil || code != http.StatusOK {
+			t.Fatalf("seed %d: warmup: %d %v", seed, code, err)
+		}
+
+		act := faultinject.Panic
+		var delay time.Duration
+		if rng.Intn(2) == 0 {
+			act = faultinject.Delay
+			delay = time.Duration(rng.Intn(200)) * time.Microsecond
+		}
+		faultinject.Install(
+			faultinject.Rule{Site: faultinject.SiteDaemonDrain, Nth: 1, Act: act, Delay: delay},
+			faultinject.Rule{Site: faultinject.SiteDaemonRequest, Nth: int64(1 + rng.Intn(3)),
+				Act: faultinject.Delay, Delay: time.Duration(rng.Intn(100)) * time.Microsecond},
+		)
+
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				code, body, err := checkBytes(hs, &CheckRequest{Spec: problem, Phi: "R(zip -> street)"})
+				if err != nil {
+					t.Errorf("seed %d: transport: %v", seed, err)
+					return
+				}
+				switch code {
+				case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				default:
+					t.Errorf("seed %d: unexpected status %d: %s", seed, code, body)
+				}
+			}(g)
+		}
+
+		drainPanicked := func() (panicked bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(faultinject.Injected); !ok {
+						panic(r)
+					}
+					panicked = true
+				}
+			}()
+			srv.BeginDrain()
+			return false
+		}()
+		wg.Wait()
+		faultinject.Reset()
+
+		if drainPanicked {
+			// A crash mid-drain may have flipped readiness without stopping
+			// admission; the retry must complete the switch.
+			srv.BeginDrain()
+		}
+		if !srv.Draining() {
+			t.Fatalf("seed %d: drain did not complete", seed)
+		}
+		resp, err := http.Get(hs.URL + "/readyz")
+		if err != nil {
+			t.Fatalf("seed %d: readyz: %v", seed, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("seed %d: readyz after drain = %d, want 503", seed, resp.StatusCode)
+		}
+		code, body, err := checkBytes(hs, &CheckRequest{Spec: problem, Phi: "R(zip -> street)"})
+		if err != nil {
+			t.Fatalf("seed %d: post-drain transport: %v", seed, err)
+		}
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("seed %d: request slipped past a completed drain: %d %s", seed, code, body)
+		}
+		if st := srv.adm.stats(); st.InFlight != 0 {
+			t.Fatalf("seed %d: %d admission tokens leaked through drain", seed, st.InFlight)
+		}
+		hs.Close()
+	}
+}
+
+// TestSigmaEditCrashSchedules injects faults at the cache seam while Σ
+// edits race queries: an edit re-keys the universe, so a panic or delay in
+// a lookup must never corrupt an entry, leak the evicted pool's shards, or
+// serve a stale Σ after the edit completes.
+func TestSigmaEditCrashSchedules(t *testing.T) {
+	defer faultinject.Reset()
+	problem := mustProblem(t, exampleSpecJSON)
+
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(7000 + seed))
+		srv, hs := newTestServer(t, Config{MaxInFlight: 4, MaxQueue: 4})
+
+		// Register and warm the pool via an implies query.
+		var u UniverseResponse
+		{
+			data, _ := json.Marshal(&UniverseRequest{Spec: problem})
+			resp, err := http.Post(hs.URL+"/v1/universe", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&u); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+
+		r := faultinject.Rule{
+			Site: faultinject.SiteDaemonCache,
+			Nth:  int64(1 + rng.Intn(6)),
+			Act:  faultinject.Panic,
+		}
+		if rng.Intn(2) == 0 {
+			r.Act = faultinject.Delay
+			r.Delay = time.Duration(rng.Intn(100)) * time.Microsecond
+		}
+		faultinject.Install(r)
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			data, _ := json.Marshal(&ImpliesRequest{Universe: u.Universe, Phi: "R(zip -> street)"})
+			resp, err := http.Post(hs.URL+"/v1/implies", "application/json", bytes.NewReader(data))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+		var editedFP string
+		go func() {
+			defer wg.Done()
+			body := strings.NewReader(`{"cfds": ["R1(zip -> street)"]}`)
+			req, err := http.NewRequest(http.MethodPut, hs.URL+"/v1/universe/"+u.Universe+"/sigma", body)
+			if err != nil {
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var edited UniverseResponse
+				if json.NewDecoder(resp.Body).Decode(&edited) == nil {
+					editedFP = edited.Universe
+				}
+			}
+		}()
+		wg.Wait()
+		faultinject.Reset()
+
+		if editedFP != "" {
+			// The edit won: its universe must answer with the new Σ (AC ->
+			// city is gone) and the old fingerprint must be dead.
+			code, got, err := checkBytes(hs, &CheckRequest{Universe: editedFP, Phi: "R(AC -> city)"})
+			if err != nil || code != http.StatusOK {
+				t.Fatalf("seed %d: edited universe unusable: %d %v", seed, code, err)
+			}
+			if bytes.Contains(got, []byte(`"propagated":true`)) {
+				t.Fatalf("seed %d: stale Σ served after edit: %s", seed, got)
+			}
+			resp, err := http.Get(hs.URL + "/v1/universe/" + u.Universe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("seed %d: old fingerprint survived the edit: %d", seed, resp.StatusCode)
+			}
+		} else {
+			// The edit lost to an injected fault: the original universe must
+			// be intact.
+			code, _, err := checkBytes(hs, &CheckRequest{Universe: u.Universe, Phi: "R(zip -> street)"})
+			if err != nil || code != http.StatusOK {
+				t.Fatalf("seed %d: original universe corrupted after failed edit: %d %v", seed, code, err)
+			}
+		}
+		assertPoolsWhole(t, srv, fmt.Sprintf("seed %d", seed))
+		hs.Close()
+	}
+}
+

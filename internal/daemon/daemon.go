@@ -1,0 +1,534 @@
+// Package daemon implements propcfdd, the long-lived CFD-propagation
+// service: a plain HTTP/JSON front end over internal/propagation and
+// internal/core that keeps compiled (Σ, V) universes — with warm
+// implication pools — cached across requests.
+//
+// Robustness contract:
+//
+//   - Admission control: a fixed in-flight budget with a short bounded
+//     queue in front. Past that, requests shed with 429 + Retry-After
+//     instead of piling up.
+//   - Budgets: every request runs under a wall-clock deadline (capped by
+//     the server) and an optional chase-step budget, mapped onto
+//     propagation.Options; /v1/check reports stops in-band via "stopped".
+//   - Panic isolation: a panicking request answers 500; the server and
+//     every other request keep running.
+//   - Graceful drain: BeginDrain flips readiness and refuses new work with
+//     503 + Retry-After while in-flight requests complete.
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/faultinject"
+	"cfdprop/internal/implication"
+	"cfdprop/internal/propagation"
+	"cfdprop/internal/spec"
+)
+
+// Config sizes the server. The zero value selects the documented defaults.
+type Config struct {
+	// MaxInFlight is the number of requests computing concurrently.
+	// Default: GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue is the number of requests allowed to wait for an in-flight
+	// slot. Default: 2 × MaxInFlight.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits before shedding.
+	// Default: 100ms.
+	QueueWait time.Duration
+	// MaxDeadline caps every request's wall-clock budget and is applied
+	// as the budget when a request names none. Default: 30s.
+	MaxDeadline time.Duration
+	// MaxPhis caps the /v1/check batch size. Default: 64.
+	MaxPhis int
+	// Parallelism caps (and defaults) the per-request worker count.
+	// Default: GOMAXPROCS.
+	Parallelism int
+	// CacheSize is the number of compiled universes kept warm (LRU).
+	// Default: 32.
+	CacheSize int
+	// PoolSize is the shard count of each universe's warm implication
+	// pool. Default: 4.
+	PoolSize int
+	// DrainWait bounds the asynchronous pool drain after an eviction or Σ
+	// edit. Default: 5s.
+	DrainWait time.Duration
+	// RetryAfter is the hint attached to 429 and 503 answers. Default: 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request body size. Default: 8 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if c.MaxPhis <= 0 {
+		c.MaxPhis = 64
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 32
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.DrainWait <= 0 {
+		c.DrainWait = 5 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the daemon's HTTP handler plus its lifecycle switches. Wire it
+// to an http.Server; on SIGTERM call BeginDrain, then http.Server.Shutdown
+// for the in-flight completions.
+type Server struct {
+	cfg    Config
+	adm    *admission
+	cache  *cache
+	mux    *http.ServeMux
+	ready  atomic.Bool
+	panics atomic.Int64
+}
+
+// New builds a Server ready to serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		cache: newCache(cfg.CacheSize, cfg.PoolSize, cfg.DrainWait),
+		mux:   http.NewServeMux(),
+	}
+	s.ready.Store(true)
+
+	// Probes and stats bypass admission: they must answer while saturated.
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+
+	s.mux.Handle("POST /v1/check", s.compute(s.handleCheck))
+	s.mux.Handle("POST /v1/cover", s.compute(s.handleCover))
+	s.mux.Handle("POST /v1/implies", s.compute(s.handleImplies))
+	s.mux.Handle("POST /v1/universe", s.compute(s.handleUniverseRegister))
+	s.mux.HandleFunc("GET /v1/universe/{fp}", s.handleUniverseGet)
+	s.mux.Handle("PUT /v1/universe/{fp}/sigma", s.compute(s.handleSigmaEdit))
+	return s
+}
+
+// Handler returns the daemon's HTTP handler with panic isolation applied.
+func (s *Server) Handler() http.Handler { return s.recoverWrap(s.mux) }
+
+// BeginDrain starts graceful shutdown: readiness flips false, then
+// admission switches to refusing new work with 503. In-flight requests are
+// untouched; follow with http.Server.Shutdown to wait for them.
+func (s *Server) BeginDrain() {
+	s.ready.Store(false)
+	faultinject.Hit(faultinject.SiteDaemonDrain)
+	s.adm.beginDrain()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.adm.isDraining() }
+
+// Stats is the /statusz document.
+type Stats struct {
+	Ready     bool           `json:"ready"`
+	Admission AdmissionStats `json:"admission"`
+	Cache     CacheStats     `json:"cache"`
+	Panics    int64          `json:"panics"`
+}
+
+func (s *Server) stats() Stats {
+	return Stats{
+		Ready:     s.ready.Load(),
+		Admission: s.adm.stats(),
+		Cache:     s.cache.stats(),
+		Panics:    s.panics.Load(),
+	}
+}
+
+// recoverWrap isolates request panics: the panicking request answers 500,
+// the server keeps serving everyone else. Injected faultinject panics take
+// the same path — that is what the crash suite exercises.
+func (s *Server) recoverWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				// Best effort: if the handler already wrote, this is a no-op
+				// on the status line and the client sees a truncated body.
+				s.writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal panic: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// compute applies the admission front door to a work-performing handler.
+func (s *Server) compute(next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, status := s.adm.admit(r.Context())
+		switch status {
+		case admitOK:
+			defer release()
+			faultinject.Hit(faultinject.SiteDaemonRequest)
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+			next(w, r)
+		case admitShed:
+			s.writeRetryError(w, http.StatusTooManyRequests,
+				errors.New("over capacity, retry later"))
+		case admitDraining:
+			s.writeRetryError(w, http.StatusServiceUnavailable,
+				errors.New("draining, retry against another instance"))
+		case admitCancelled:
+			// Client abandoned the request while queued; nothing to say.
+		}
+	})
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		s.writeRetryError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.stats())
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeCheckRequest(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := applyBudgetHeaders(r.Header, &req.DeadlineMillis, &req.MaxChaseSteps); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, ok, err := s.resolve(req.Spec, req.Universe)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown universe %q", req.Universe))
+		return
+	}
+	phis := req.allPhis()
+	if len(phis) > s.cfg.MaxPhis {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d view CFDs exceeds the limit of %d", len(phis), s.cfg.MaxPhis))
+		return
+	}
+	parsed := make([]*cfd.CFD, len(phis))
+	for i, src := range phis {
+		if parsed[i], err = cfd.Parse(src); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("phi %q: %w", src, err))
+			return
+		}
+	}
+
+	general := e.db.HasFiniteAttr()
+	if req.General != nil {
+		general = *req.General
+	}
+	opts := req.options(general)
+	if opts.Parallelism == 0 || opts.Parallelism > s.cfg.Parallelism {
+		opts.Parallelism = s.cfg.Parallelism
+	}
+	// The deadline bounds the whole batch, so it rides on the context
+	// rather than Options.Deadline (which is per Check call). The
+	// chase-step budget stays per φ — deterministic regardless of how far
+	// through the batch the deadline struck.
+	ctx, cancel := s.deadlineCtx(r, req.DeadlineMillis)
+	defer cancel()
+	opts.Context = ctx
+
+	resp := CheckResponse{Universe: e.fp, Generation: e.gen}
+	for i, phi := range parsed {
+		res, err := propagation.Check(e.db, e.view, e.sigma, phi, opts)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("phi %q: %w", phis[i], err))
+			return
+		}
+		resp.Results = append(resp.Results, ResultOf(phis[i], res, e.db))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCover(w http.ResponseWriter, r *http.Request) {
+	var req CoverRequest
+	if !s.readBody(w, r, &req) {
+		return
+	}
+	if err := req.validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := applyBudgetHeaders(r.Header, &req.DeadlineMillis, new(int64)); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, ok, err := s.resolve(req.Spec, req.Universe)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown universe %q", req.Universe))
+		return
+	}
+	par := req.Parallelism
+	if par == 0 || par > s.cfg.Parallelism {
+		par = s.cfg.Parallelism
+	}
+	ctx, cancel := s.deadlineCtx(r, req.DeadlineMillis)
+	defer cancel()
+
+	var out *coverOutcome
+	cached := false
+	if req.MaxCoverSize > 0 {
+		out, err = e.coverWith(ctx, par, req.MaxCoverSize)
+	} else {
+		out, cached, err = e.ensureCover(ctx, par)
+	}
+	if err != nil {
+		s.writeComputeError(w, ctx, err)
+		return
+	}
+	resp := CoverResponse{
+		Universe:    e.fp,
+		Generation:  e.gen,
+		ViewSchema:  e.vs.String(),
+		Cover:       cfdStrings(out.cover),
+		Exact:       e.exact() && !out.truncated,
+		AlwaysEmpty: out.alwaysEmpty,
+		Truncated:   out.truncated,
+		Cached:      cached,
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
+	var req ImpliesRequest
+	if !s.readBody(w, r, &req) {
+		return
+	}
+	if err := req.validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := applyBudgetHeaders(r.Header, &req.DeadlineMillis, new(int64)); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	phi, err := cfd.Parse(req.Phi)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("phi %q: %w", req.Phi, err))
+		return
+	}
+	e, ok, err := s.resolve(req.Spec, req.Universe)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown universe %q", req.Universe))
+		return
+	}
+	ctx, cancel := s.deadlineCtx(r, req.DeadlineMillis)
+	defer cancel()
+	implied, err := e.impliedByCover(ctx, s.cfg.Parallelism, phi)
+	if err != nil {
+		s.writeComputeError(w, ctx, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ImpliesResponse{
+		Universe:   e.fp,
+		Generation: e.gen,
+		Implied:    implied,
+		Exact:      e.exact(),
+	})
+}
+
+func (s *Server) handleUniverseRegister(w http.ResponseWriter, r *http.Request) {
+	var req UniverseRequest
+	if !s.readBody(w, r, &req) {
+		return
+	}
+	if req.Spec == nil {
+		s.writeError(w, http.StatusBadRequest, errors.New("spec is required"))
+		return
+	}
+	e, _, err := s.cache.getOrCompile(req.Spec)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, universeResponse(e))
+}
+
+func (s *Server) handleUniverseGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.cache.lookup(r.PathValue("fp"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown universe %q", r.PathValue("fp")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, universeResponse(e))
+}
+
+func (s *Server) handleSigmaEdit(w http.ResponseWriter, r *http.Request) {
+	var req SigmaRequest
+	if !s.readBody(w, r, &req) {
+		return
+	}
+	old, ok := s.cache.lookup(r.PathValue("fp"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown universe %q", r.PathValue("fp")))
+		return
+	}
+	fresh, err := old.editSigma(req.CFDs)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, err := s.cache.replace(old, fresh)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, universeResponse(e))
+}
+
+// ---- helpers ----
+
+func universeResponse(e *entry) UniverseResponse {
+	return UniverseResponse{
+		Universe:   e.fp,
+		Generation: e.gen,
+		ViewSchema: e.vs.String(),
+		SigmaSize:  len(e.sigma),
+	}
+}
+
+func cfdStrings(cs []*cfd.CFD) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// resolve turns (spec, universe) — exactly one set, already validated —
+// into a cache entry. ok is false only for an unknown fingerprint.
+func (s *Server) resolve(p *spec.Problem, fp string) (*entry, bool, error) {
+	if p != nil {
+		e, _, err := s.cache.getOrCompile(p)
+		return e, err == nil, err
+	}
+	e, ok := s.cache.lookup(fp)
+	return e, ok, nil
+}
+
+// readBody decodes a strict-JSON request body into dst, answering the
+// error itself when it fails.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	if err := decodeStrict(body, dst); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+// deadlineCtx derives the request's compute context: the client's deadline
+// capped by the server's maximum, the maximum alone when none was given.
+func (s *Server) deadlineCtx(r *http.Request, deadlineMillis int64) (context.Context, context.CancelFunc) {
+	d := time.Duration(deadlineMillis) * time.Millisecond
+	if d <= 0 || d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeComputeError maps a computation failure onto the degradation
+// contract: deadline expiry → 504, an evicted/draining pool → 503 +
+// Retry-After (the retry will recompile), anything else → 400.
+func (s *Server) writeComputeError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case ctx.Err() != nil:
+		s.writeError(w, http.StatusGatewayTimeout, fmt.Errorf("budget exhausted: %w", err))
+	case errors.Is(err, implication.ErrPoolClosed):
+		s.writeRetryError(w, http.StatusServiceUnavailable, errors.New("universe evicted mid-request, retry"))
+	default:
+		s.writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// writeRetryError is writeError plus the Retry-After hint — the one place
+// the 429/503 shed contract is stamped.
+func (s *Server) writeRetryError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	s.writeError(w, code, err)
+}

@@ -1,0 +1,57 @@
+package daemon
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeRequest drives the daemon's strict JSON decoder with arbitrary
+// bodies. The decoder guards the service's front door, so the invariants
+// are absolute: never panic, and every accepted request satisfies the
+// validated invariants (exactly one of spec/universe, at least one φ,
+// non-negative budgets) — a fuzzed body must not smuggle in a state the
+// handlers were never written for.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		// The documented example payloads.
+		`{"universe": "8c9f42aa01b3c7d5", "phi": "R([CC=44, zip] -> [street])"}`,
+		`{"universe": "8c9f42aa01b3c7d5", "phis": ["R(zip -> street)", "R(AC -> city)"], "max_chase_steps": 1000}`,
+		`{"spec": {"relations": [{"name": "R1", "attrs": ["AC", "city"]}], "cfds": ["R1(AC -> city)"],
+		   "view": {"name": "R", "atoms": [{"source": "R1", "attrs": ["AC", "city"]}], "projection": ["AC", "city"]}},
+		  "phi": "R(AC -> city)", "want_counterexample": true, "deadline_ms": 250}`,
+		// Shapes the validator must refuse.
+		`{"phi": "R(a -> b)"}`,
+		`{"universe": "x"}`,
+		`{"universe": "x", "phi": "R(a -> b)", "deadline_ms": -5}`,
+		`{"universe": "x", "phi": "R(a -> b)", "unknown_field": 1}`,
+		`{"universe": "x", "phi": "R(a -> b)"} {"trailing": true}`,
+		`{}`, ``, `null`, `[1,2,3]`, `"just a string"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeCheckRequest(data)
+		if err != nil {
+			return
+		}
+		if (req.Spec == nil) == (req.Universe == "") {
+			t.Fatalf("accepted request violates the spec/universe invariant: %s", data)
+		}
+		if len(req.allPhis()) == 0 {
+			t.Fatalf("accepted request has no phi: %s", data)
+		}
+		if req.Parallelism < 0 || req.MaxInstantiations < 0 || req.DeadlineMillis < 0 || req.MaxChaseSteps < 0 {
+			t.Fatalf("accepted request has a negative budget: %s", data)
+		}
+		// Accepted requests round-trip: re-marshaling and re-decoding gives
+		// an equivalent request (the wire format has no lossy corners).
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-marshal: %v", err)
+		}
+		if _, err := DecodeCheckRequest(out); err != nil {
+			t.Fatalf("re-marshaled request rejected: %v\noriginal: %s\nremarshal: %s", err, data, out)
+		}
+	})
+}

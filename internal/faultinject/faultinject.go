@@ -31,4 +31,14 @@ const (
 	// SitePropWorker fires once per schedule task inside the parallel
 	// propagation worker loop.
 	SitePropWorker = "propagation.worker"
+	// SiteDaemonRequest fires once per admitted daemon request, after
+	// admission control and before the request is dispatched to the
+	// propagation stack.
+	SiteDaemonRequest = "daemon.request"
+	// SiteDaemonCache fires inside the daemon's universe cache on every
+	// lookup, before a hit is returned or a miss starts compiling.
+	SiteDaemonCache = "daemon.cache"
+	// SiteDaemonDrain fires during daemon shutdown, after readiness has
+	// flipped and before queued/new requests start being refused.
+	SiteDaemonDrain = "daemon.drain"
 )

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"cfdprop/internal/cfd"
+	"cfdprop/internal/chase"
 	"cfdprop/internal/rel"
 )
 
@@ -62,6 +64,45 @@ func TestSessionMinCoverCancelled(t *testing.T) {
 	work := append([]*cfd.CFD{cfd.MustParse("V(A -> C)")}, sigma...)
 	if _, err := s.MinCover(work); !errors.Is(err, context.Canceled) {
 		t.Fatalf("MinCover under cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+// TestSessionResetAfterBudgetExhaustion: a chase-step budget that runs dry
+// mid-MinCover surfaces chase.ErrStepBudget, and Reset (which clears the
+// budget along with the context) returns the session to a state whose
+// MinCover matches a fresh session exactly — no residue from the aborted
+// redundancy walk.
+func TestSessionResetAfterBudgetExhaustion(t *testing.T) {
+	u, _, _, _ := controlWorkload(t)
+	// Constant patterns keep the query off the FD-closure fast path (which
+	// never draws chase steps), so the budget actually meters work.
+	sigma := []*cfd.CFD{
+		cfd.MustParse("V([A=1] -> [B=2])"),
+		cfd.MustParse("V([B=2] -> [C=3])"),
+		cfd.MustParse("V([C=3] -> [D=4])"),
+	}
+	work := append([]*cfd.CFD{cfd.MustParse("V([A=1] -> [C=3])"), cfd.MustParse("V([A=1] -> [D=4])")}, sigma...)
+
+	want, err := NewSession(u).MinCover(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSession(u)
+	var budget atomic.Int64
+	budget.Store(1) // enough to start, never enough to finish
+	s.SetBudget(&budget)
+	if _, err := s.MinCover(work); !errors.Is(err, chase.ErrStepBudget) {
+		t.Fatalf("MinCover with 1-step budget = %v, want chase.ErrStepBudget", err)
+	}
+
+	s.Reset()
+	got, err := s.MinCover(work)
+	if err != nil {
+		t.Fatalf("MinCover after Reset: %v", err)
+	}
+	if coverString(got) != coverString(want) {
+		t.Fatalf("post-Reset cover diverged from fresh session\n got: %v\nwant: %v", got, want)
 	}
 }
 

@@ -2,6 +2,7 @@ package implication
 
 import (
 	"context"
+	"sync/atomic"
 
 	"cfdprop/internal/cfd"
 )
@@ -48,14 +49,24 @@ func (s *Session) SetSigma(sigma []*cfd.CFD) error {
 // fully reusable.
 func (s *Session) SetContext(ctx context.Context) { s.inner.setContext(ctx) }
 
-// Reset returns a session that stopped mid-query — cancelled, or recovered
-// from a panic — to the quiescent state it had just after its last
-// SetSigma: pooled chase state cleared, no skip/tombstones, no context.
-// The compiled Σ is kept.
+// SetBudget installs a chase-step budget drawn down by every worklist pop
+// of subsequent queries, mirroring propagation.Options.MaxChaseSteps: when
+// the shared counter goes negative, Implies/MinCover abort with
+// chase.ErrStepBudget. The counter may be shared between sessions (one
+// global budget for fanned-out work). Pass nil to clear. Exhaustion never
+// corrupts the session: after Reset (or a fresh SetSigma) it is fully
+// reusable.
+func (s *Session) SetBudget(steps *atomic.Int64) { s.inner.setBudget(steps) }
+
+// Reset returns a session that stopped mid-query — cancelled, budget-
+// exhausted, or recovered from a panic — to the quiescent state it had
+// just after its last SetSigma: pooled chase state cleared, no
+// skip/tombstones, no context, no step budget. The compiled Σ is kept.
 func (s *Session) Reset() {
 	in := s.inner
 	in.st.Reset()
 	in.setContext(nil)
+	in.setBudget(nil)
 	in.setSkip(-1)
 	for i := range in.dead {
 		in.dead[i] = false

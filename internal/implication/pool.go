@@ -2,6 +2,7 @@ package implication
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,6 +11,10 @@ import (
 	"cfdprop/internal/cfd"
 	"cfdprop/internal/faultinject"
 )
+
+// ErrPoolClosed is returned by Borrow/BorrowCtx (and the query helpers
+// built on them) once Close has been called on the pool.
+var ErrPoolClosed = errors.New("implication: pool closed")
 
 // Pool is a sharded, goroutine-safe front-end over Session: N independent
 // sessions per universe, one per worker, so concurrent implication work
@@ -37,6 +42,7 @@ type Pool struct {
 	sigma   []*cfd.CFD // normalized pool Σ (nil until SetSigma)
 	gen     uint64     // bumped by SetSigma; 0 means "empty Σ"
 	created int        // sessions minted so far (≤ size)
+	closed  bool       // set by Close; new Borrows are refused
 
 	ctx atomic.Pointer[context.Context] // stamped onto borrowed shards
 }
@@ -80,8 +86,12 @@ func (p *Pool) take() *Session {
 	return <-p.sessions
 }
 
-// takeCtx is take that gives up when ctx is cancelled while blocking.
+// takeCtx is take that gives up when ctx is cancelled while blocking, and
+// refuses immediately once the pool is closed.
 func (p *Pool) takeCtx(ctx context.Context) (*Session, error) {
+	if p.isClosed() {
+		return nil, ErrPoolClosed
+	}
 	if s, ok := p.tryTake(); ok {
 		return s, nil
 	}
@@ -97,7 +107,7 @@ func (p *Pool) takeCtx(ctx context.Context) (*Session, error) {
 }
 
 // tryTake is take without blocking; it reports failure when every shard
-// exists and is out.
+// exists and is out (or the pool is closed).
 func (p *Pool) tryTake() (*Session, bool) {
 	select {
 	case s := <-p.sessions:
@@ -105,13 +115,60 @@ func (p *Pool) tryTake() (*Session, bool) {
 	default:
 	}
 	p.mu.Lock()
-	if p.created < p.size {
+	if p.created < p.size && !p.closed {
 		p.created++
 		p.mu.Unlock()
 		return NewSession(p.u), true
 	}
 	p.mu.Unlock()
 	return nil, false
+}
+
+// isClosed reports whether Close has been called.
+func (p *Pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Close marks the pool closed: subsequent Borrow/BorrowCtx/Implies/
+// MinCover calls fail with ErrPoolClosed and no new shards are minted.
+// Shards already borrowed stay valid and must still be Returned (Return on
+// a closed pool is safe); use Drain to wait for them. Close is idempotent
+// and safe to call concurrently with borrows — a borrow that entered
+// before Close completes may still succeed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+}
+
+// Drain waits until every shard minted by the pool has been returned, or
+// ctx expires. It requires Close to have been called first (otherwise new
+// borrows could starve it forever) and is terminal: collected shards are
+// released for garbage collection, not re-enqueued. The warm-pool eviction
+// path uses Close + Drain to prove no request still holds cached state
+// before dropping the entry.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	closed, want := p.closed, p.created
+	p.mu.Unlock()
+	if !closed {
+		return errors.New("implication: Drain requires Close first")
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for have := 0; have < want; have++ {
+		select {
+		case <-p.sessions:
+		case <-done:
+			return fmt.Errorf("implication: pool drain: %d of %d shards still borrowed: %w",
+				want-have, want, ctx.Err())
+		}
+	}
+	return nil
 }
 
 // Size returns the number of shards.
@@ -122,6 +179,9 @@ func (p *Pool) Size() int { return p.size }
 // their next Borrow. Like Session.SetSigma, CFDs on other relations are
 // dropped.
 func (p *Pool) SetSigma(sigma []*cfd.CFD) error {
+	if p.isClosed() {
+		return ErrPoolClosed
+	}
 	normalized := cfd.NormalizeAll(sigma)
 	s := p.take()
 	if err := s.inner.setSigma(normalized); err != nil {
@@ -204,6 +264,7 @@ func (p *Pool) Return(s *Session) {
 	}()
 	faultinject.Hit(faultinject.SitePoolReturn)
 	s.SetContext(nil)
+	s.SetBudget(nil)
 	p.sessions <- s
 }
 

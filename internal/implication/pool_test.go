@@ -1,9 +1,13 @@
 package implication
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cfdprop/internal/cfd"
 )
@@ -74,6 +78,70 @@ func TestPoolImpliesMatchesSessionConcurrent(t *testing.T) {
 		for err := range errs {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestPoolCloseDrain pins the eviction contract the daemon's warm-pool
+// cache depends on: Close fails new borrows with ErrPoolClosed but leaves
+// outstanding shards valid, Drain refuses to run before Close, reports
+// still-borrowed shards instead of hanging, and completes once every
+// shard is back.
+func TestPoolCloseDrain(t *testing.T) {
+	u, sigma, phis := diffWorkload(11, 40)
+	pool := NewPool(u, 2)
+	if err := pool.SetSigma(sigma); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain before Close must refuse rather than race against new borrows.
+	if err := pool.Drain(context.Background()); err == nil {
+		t.Fatal("Drain before Close succeeded; it must require Close first")
+	}
+
+	s, err := pool.Borrow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	pool.Close() // idempotent
+
+	// New work is refused across every entry point.
+	if _, err := pool.Borrow(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Borrow after Close: err = %v, want ErrPoolClosed", err)
+	}
+	if _, err := pool.Implies(phis[0]); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Implies after Close: err = %v, want ErrPoolClosed", err)
+	}
+	if _, err := pool.MinCover(sigma); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("MinCover after Close: err = %v, want ErrPoolClosed", err)
+	}
+	if err := pool.SetSigma(sigma); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("SetSigma after Close: err = %v, want ErrPoolClosed", err)
+	}
+
+	// The shard borrowed before Close stays usable: a request in flight at
+	// eviction time finishes on cached state rather than failing.
+	if _, err := s.Implies(phis[0]); err != nil {
+		t.Fatalf("borrowed shard broken by Close: %v", err)
+	}
+
+	// Drain with the shard still out must time out and say so.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	err = pool.Drain(ctx)
+	cancel()
+	if err == nil {
+		t.Fatal("Drain succeeded with a shard still borrowed")
+	}
+	if !strings.Contains(err.Error(), "still borrowed") || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain error = %v, want still-borrowed wrapping DeadlineExceeded", err)
+	}
+
+	// Return on a closed pool is safe, and Drain then completes.
+	pool.Return(s)
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := pool.Drain(ctx); err != nil {
+		t.Fatalf("Drain after all shards returned: %v", err)
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"cfdprop/internal/cfd"
+	"cfdprop/internal/chase"
 	"cfdprop/internal/faultinject"
 	"cfdprop/internal/sym"
 )
@@ -56,6 +58,12 @@ type session struct {
 	// polls done periodically and aborts with ctx's error.
 	ctx  context.Context
 	done <-chan struct{}
+
+	// Cooperative step budget, installed by setBudget: every worklist pop
+	// draws one step; exhaustion aborts with chase.ErrStepBudget. Like
+	// propagation.Options.MaxChaseSteps, the counter may be shared across
+	// sessions so concurrent work exhausts one global budget.
+	steps *atomic.Int64
 
 	fp fastPath
 }
@@ -161,6 +169,10 @@ func (s *session) setContext(ctx context.Context) {
 		s.done = nil
 	}
 }
+
+// setBudget installs (or, with nil, clears) a shared chase-step budget
+// drawn down by the worklist chase.
+func (s *session) setBudget(steps *atomic.Int64) { s.steps = steps }
 
 // alive reports whether the i-th compiled CFD participates in queries.
 func (s *session) alive(i int) bool { return !s.dead[i] && i != s.skip }
@@ -307,6 +319,9 @@ func (s *session) chase(rows [][]sym.Term) error {
 				return s.ctx.Err()
 			default:
 			}
+		}
+		if s.steps != nil && s.steps.Add(-1) < 0 {
+			return chase.ErrStepBudget
 		}
 		i := s.queue[qh]
 		s.inQ[i] = false

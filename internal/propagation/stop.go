@@ -3,6 +3,7 @@ package propagation
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"cfdprop/internal/chase"
@@ -40,6 +41,33 @@ func (r StopReason) String() string {
 		return "chase step budget"
 	}
 	return "unknown"
+}
+
+// MarshalText encodes the reason as its String form, so Results (and the
+// daemon's wire format) serialize stops symbolically instead of as bare
+// integers that would break if the enum were ever reordered.
+func (r StopReason) MarshalText() ([]byte, error) {
+	if r > StopChaseBudget {
+		return nil, fmt.Errorf("propagation: unknown StopReason %d", uint8(r))
+	}
+	return []byte(r.String()), nil
+}
+
+// UnmarshalText decodes the String form produced by MarshalText.
+func (r *StopReason) UnmarshalText(text []byte) error {
+	switch s := string(text); s {
+	case "", "none":
+		*r = StopNone
+	case "cancelled":
+		*r = StopCancelled
+	case "deadline":
+		*r = StopDeadline
+	case "chase step budget":
+		*r = StopChaseBudget
+	default:
+		return fmt.Errorf("propagation: unknown stop reason %q", s)
+	}
+	return nil
 }
 
 // stopper carries a Check call's stop controls: the effective context

@@ -241,3 +241,33 @@ func TestDeadlineComposesWithContext(t *testing.T) {
 		t.Fatalf("Stopped = %s, want %s", res.Stopped, StopCancelled)
 	}
 }
+
+// TestStopReasonTextRoundTrip: every StopReason survives
+// MarshalText/UnmarshalText unchanged (the daemon's wire format depends on
+// the symbolic encoding), empty text decodes as StopNone, and values
+// outside the enum fail both ways instead of silently aliasing.
+func TestStopReasonTextRoundTrip(t *testing.T) {
+	for _, r := range []StopReason{StopNone, StopCancelled, StopDeadline, StopChaseBudget} {
+		text, err := r.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%s): %v", r, err)
+		}
+		var back StopReason
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != r {
+			t.Fatalf("round trip: %s -> %q -> %s", r, text, back)
+		}
+	}
+	var r StopReason
+	if err := r.UnmarshalText(nil); err != nil || r != StopNone {
+		t.Fatalf("empty text: %v, %s; want nil, %s", err, r, StopNone)
+	}
+	if err := r.UnmarshalText([]byte("catastrophe")); err == nil {
+		t.Fatal("unknown stop reason decoded without error")
+	}
+	if _, err := StopReason(200).MarshalText(); err == nil {
+		t.Fatal("out-of-range StopReason marshaled without error")
+	}
+}
