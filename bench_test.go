@@ -210,6 +210,29 @@ func BenchmarkPropagationCheck(b *testing.B) {
 	}
 }
 
+// BenchmarkPropagationCheckGeneral measures the general-setting decision
+// procedure on a 4^6 instantiation space, comparing the factorised
+// shared-prefix chase (the default) against the full re-chase reference —
+// both at parallelism 1, so the ratio is the algorithmic win alone.
+func BenchmarkPropagationCheckGeneral(b *testing.B) {
+	db, spcu, sigma, phi := bench.GeneralInstWorkload(1, 3, 4)
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"factorised", false}, {"full-rechase", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := propagation.Options{General: true, FullRechase: mode.full, Parallelism: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := propagation.Check(db, spcu, sigma, phi, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkImplication measures the two-tuple implication chase.
 func BenchmarkImplication(b *testing.B) {
 	rng := rand.New(rand.NewSource(12))

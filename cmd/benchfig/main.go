@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchfig [-exp all|fig5|fig6|fig7|fig8|table1|table2|blowup|parallel]
+//	benchfig [-exp all|fig5|fig6|fig7|fig8|table1|table2|blowup|parallel|factorised]
 //	         [-trials N] [-seed S] [-sigma N] [-quick] [-parallel N] [-json]
 //
 // -json replaces the text tables with one machine-readable report whose
@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, table2, blowup, parallel")
+	exp := flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, table2, blowup, parallel, factorised")
 	trials := flag.Int("trials", 3, "random workloads per data point")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	sigma := flag.Int("sigma", 2000, "|Sigma| for the figure sweeps that fix it")
@@ -130,6 +130,20 @@ func main() {
 			} else {
 				bench.PrintParallel(os.Stdout, cases)
 			}
+		case "factorised":
+			sizes := []int{2, 3, 4} // 4^4, 4^6, 4^8 assignment spaces
+			if *quick {
+				sizes = []int{2, 3}
+			}
+			cases, err := bench.FactorisedAblation(cfg, sizes)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				report.Factorised = cases
+			} else {
+				bench.PrintFactorised(os.Stdout, cases)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -138,7 +152,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "table2", "blowup", "parallel", "fig5", "fig6", "fig7", "fig8"}
+		names = []string{"table1", "table2", "blowup", "parallel", "factorised", "fig5", "fig6", "fig7", "fig8"}
 	}
 	// The sweeps observe cfg.Ctx cooperatively; the watchdog additionally
 	// covers the experiments that take no Config (tables, blowup), so

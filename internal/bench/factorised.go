@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"time"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/propagation"
+	"cfdprop/internal/rel"
+)
+
+// GeneralInstWorkload exposes the general-setting enumeration workload
+// (size^(2·nFinite) assignment space) for the top-level Go benchmarks.
+func GeneralInstWorkload(seed int64, nFinite, size int) (*rel.DBSchema, *algebra.SPCU, []*cfd.CFD, *cfd.CFD) {
+	return generalInstWorkload(seed, nFinite, size)
+}
+
+// FactorisedCase is one workload of the factorised-chase ablation: the
+// same general-setting instantiation sweep timed with the full re-chase
+// per assignment (the reference loop) and with the shared-prefix snapshot
+// chase, both at parallelism 1 — so the speedup isolates the algorithmic
+// win from thread-level parallelism.
+type FactorisedCase struct {
+	Name           string        `json:"name"`
+	Instantiations int           `json:"instantiations"`
+	FullRechase    time.Duration `json:"full_rechase_ns"`
+	Factorised     time.Duration `json:"factorised_ns"`
+	Speedup        float64       `json:"speedup"`
+}
+
+// FactorisedAblation times the general-setting enumeration workloads
+// (4^4, 4^6 and — outside -quick grids — 4^8 assignment spaces) under
+// both chase strategies and cross-checks that the Results are identical.
+// sizes lists the nFinite values to sweep (each contributes a 4^(2n)
+// space); nil selects {2, 3, 4}.
+func FactorisedAblation(c Config, sizes []int) ([]FactorisedCase, error) {
+	c = c.Defaults()
+	if len(sizes) == 0 {
+		sizes = []int{2, 3, 4}
+	}
+	var out []FactorisedCase
+	for _, nFinite := range sizes {
+		db, view, sigma, phi := generalInstWorkload(c.Seed, nFinite, 4)
+		name := fmt.Sprintf("general-inst/4^%d", 2*nFinite)
+		cs := FactorisedCase{Name: name}
+		var ref *propagation.Result
+		for _, full := range []bool{true, false} {
+			opts := propagation.Options{
+				General:     true,
+				FullRechase: full,
+				Parallelism: 1,
+				Context:     c.Ctx,
+			}
+			times := make([]time.Duration, 0, c.Trials)
+			var res *propagation.Result
+			for t := 0; t < c.Trials; t++ {
+				start := time.Now()
+				r, err := propagation.Check(db, view, sigma, phi, opts)
+				if err != nil {
+					return nil, fmt.Errorf("bench %s full=%t: %w", name, full, err)
+				}
+				if r.Stopped != propagation.StopNone {
+					return nil, fmt.Errorf("bench %s full=%t: stopped early (%s)", name, full, r.Stopped)
+				}
+				times = append(times, time.Since(start))
+				res = r
+			}
+			sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+			med := times[len(times)/2]
+			if full {
+				ref = res
+				cs.Instantiations = res.Instantiations
+				cs.FullRechase = med
+			} else {
+				if !reflect.DeepEqual(res, ref) {
+					return nil, fmt.Errorf("bench %s: factorised result diverged from full re-chase", name)
+				}
+				cs.Factorised = med
+				cs.Speedup = float64(cs.FullRechase) / float64(med)
+			}
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// PrintFactorised renders the ablation table.
+func PrintFactorised(w io.Writer, cases []FactorisedCase) {
+	fmt.Fprintf(w, "\n== factorised chase vs full re-chase (parallelism=1) ==\n")
+	fmt.Fprintf(w, "%-20s %12s %14s %14s %8s\n", "case", "insts", "full-rechase", "factorised", "speedup")
+	for _, cs := range cases {
+		fmt.Fprintf(w, "%-20s %12d %14s %14s %7.2fx\n", cs.Name, cs.Instantiations,
+			cs.FullRechase.Round(time.Microsecond), cs.Factorised.Round(time.Microsecond), cs.Speedup)
+	}
+}

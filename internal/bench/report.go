@@ -52,8 +52,9 @@ type Report struct {
 	Host     Host           `json:"host"`
 	Series   []Series       `json:"series,omitempty"`
 	Tables   []Table        `json:"tables,omitempty"`
-	Blowup   []BlowupPoint  `json:"blowup,omitempty"`
-	Parallel []ParallelCase `json:"parallel,omitempty"`
+	Blowup     []BlowupPoint    `json:"blowup,omitempty"`
+	Parallel   []ParallelCase   `json:"parallel,omitempty"`
+	Factorised []FactorisedCase `json:"factorised,omitempty"`
 }
 
 // WriteJSON emits the report as indented JSON.

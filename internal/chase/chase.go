@@ -178,60 +178,11 @@ func (e ErrUndefined) Unwrap() error { return e.Cause }
 // are re-examined — instead of rescanning all of Σ against all row pairs
 // per round.
 func (ci *Inst) Run(sigma []*cfd.CFD) error {
-	// Pre-resolve attribute positions per CFD for speed.
-	type compiled struct {
-		c        *cfd.CFD
-		lhs, rhs []int
-		rows     []*Row
+	cs, err := ci.compile(sigma)
+	if err != nil {
+		return err
 	}
-	var cs []compiled
-	for _, c := range sigma {
-		rows := ci.rows[c.Relation]
-		if len(rows) == 0 {
-			continue
-		}
-		idx := ci.attrIdx[c.Relation]
-		cc := compiled{c: c, rows: rows}
-		ok := true
-		for _, it := range c.LHS {
-			i, found := idx[it.Attr]
-			if !found {
-				ok = false
-				break
-			}
-			cc.lhs = append(cc.lhs, i)
-		}
-		for _, it := range c.RHS {
-			i, found := idx[it.Attr]
-			if !found {
-				ok = false
-				break
-			}
-			cc.rhs = append(cc.rhs, i)
-		}
-		if !ok {
-			return fmt.Errorf("chase: %s mentions attributes missing from declared relation %q", c, c.Relation)
-		}
-		cs = append(cs, cc)
-	}
-
-	// occ maps each unbound class root to the dependencies whose premise
-	// mentions a column holding a member of the class. Equality CFDs need
-	// no entries: equating t[A] with t[B] is idempotent, so applying them
-	// once (from the seed) suffices.
-	occ := make(map[int][]int)
-	for i, cc := range cs {
-		if cc.c.Equality {
-			continue
-		}
-		for _, p := range cc.lhs {
-			for _, r := range cc.rows {
-				if rt := ci.St.Resolve(r.Cols[p]); rt.IsVar {
-					occ[rt.Var] = append(occ[rt.Var], i)
-				}
-			}
-		}
-	}
+	occ := ci.buildOcc(cs)
 
 	ci.St.TrackEvents(true)
 	defer ci.St.TrackEvents(false)
@@ -280,6 +231,71 @@ func (ci *Inst) Run(sigma []*cfd.CFD) error {
 		ci.St.ClearEvents()
 	}
 	return nil
+}
+
+// compiled is one dependency with attribute positions pre-resolved against
+// its relation's declared column order.
+type compiled struct {
+	c        *cfd.CFD
+	lhs, rhs []int
+	rows     []*Row
+}
+
+// compile pre-resolves attribute positions per CFD; dependencies whose
+// relation has no rows are dropped.
+func (ci *Inst) compile(sigma []*cfd.CFD) ([]compiled, error) {
+	var cs []compiled
+	for _, c := range sigma {
+		rows := ci.rows[c.Relation]
+		if len(rows) == 0 {
+			continue
+		}
+		idx := ci.attrIdx[c.Relation]
+		cc := compiled{c: c, rows: rows}
+		ok := true
+		for _, it := range c.LHS {
+			i, found := idx[it.Attr]
+			if !found {
+				ok = false
+				break
+			}
+			cc.lhs = append(cc.lhs, i)
+		}
+		for _, it := range c.RHS {
+			i, found := idx[it.Attr]
+			if !found {
+				ok = false
+				break
+			}
+			cc.rhs = append(cc.rhs, i)
+		}
+		if !ok {
+			return nil, fmt.Errorf("chase: %s mentions attributes missing from declared relation %q", c, c.Relation)
+		}
+		cs = append(cs, cc)
+	}
+	return cs, nil
+}
+
+// buildOcc maps each unbound class root to the dependencies whose premise
+// mentions a column holding a member of the class. Equality CFDs need no
+// entries: equating t[A] with t[B] is idempotent, so applying them once
+// (from the seed) suffices.
+func (ci *Inst) buildOcc(cs []compiled) map[int][]int {
+	occ := make(map[int][]int)
+	for i, cc := range cs {
+		if cc.c.Equality {
+			continue
+		}
+		for _, p := range cc.lhs {
+			for _, r := range cc.rows {
+				if rt := ci.St.Resolve(r.Cols[p]); rt.IsVar {
+					occ[rt.Var] = append(occ[rt.Var], i)
+				}
+			}
+		}
+	}
+	return occ
 }
 
 // apply performs one pass of a single dependency over its rows.

@@ -9,6 +9,7 @@ import (
 	"cfdprop/internal/cfd"
 	"cfdprop/internal/implication"
 	"cfdprop/internal/parutil"
+	"cfdprop/internal/propagation"
 	"cfdprop/internal/rel"
 )
 
@@ -49,6 +50,14 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 runs the serial reference path. The output
 	// is identical at every setting.
 	Parallelism int
+	// Memo, when non-nil, caches §3 pair verdicts and pair-emptiness
+	// results across the union-candidate checks of PropCFDSPCU — the
+	// candidates share most of their tableau pairs, so later checks replay
+	// earlier verdicts instead of re-chasing. A Memo is scoped to one
+	// (schema, Σ, V) triple: callers reusing one across calls must discard
+	// it whenever any of the three changes (see propagation.Memo). nil
+	// gives each PropCFDSPCU call a private memo.
+	Memo *propagation.Memo
 }
 
 // DefaultRBRBlockSize is the default block size for intermediate pruning.

@@ -23,6 +23,10 @@ type UnionResult struct {
 	ViewSchema *rel.Schema
 	// Candidates counts the candidate CFDs tested against the union.
 	Candidates int
+	// MemoHits / MemoMisses aggregate the §3 memo counters over every
+	// candidate check (see propagation.Result): hits are pair verdicts
+	// replayed from the memo, misses are pairs chased and stored.
+	MemoHits, MemoMisses int
 }
 
 // PropCFDSPCU computes a sound, minimal set of CFDs propagated from Σ to
@@ -85,13 +89,22 @@ func PropCFDSPCU(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, opts Op
 
 	// Exact filtering on the union (PTIME in the infinite-domain setting,
 	// Theorem 3.5). Each candidate's §3 check fans its own pair loop out
-	// over Options.Parallelism workers.
+	// over Options.Parallelism workers. The checks share a memo: the
+	// candidates differ only in φ, so the pair-emptiness results and most
+	// pair verdicts computed for one candidate replay for the next.
+	memo := opts.Memo
+	if memo == nil {
+		memo = propagation.NewMemo()
+	}
 	var kept []*cfd.CFD
+	var memoHits, memoMisses int
 	for _, c := range candidates {
-		r, err := propagation.Check(db, view, sigma, c, propagation.Options{Parallelism: opts.Parallelism, Context: opts.Context})
+		r, err := propagation.Check(db, view, sigma, c, propagation.Options{Parallelism: opts.Parallelism, Context: opts.Context, Memo: memo})
 		if err != nil {
 			return nil, err
 		}
+		memoHits += r.MemoHits
+		memoMisses += r.MemoMisses
 		if r.Stopped != propagation.StopNone {
 			// Only Context flows down from here, so a stop means the caller
 			// cancelled; surface it as their context's error.
@@ -111,7 +124,13 @@ func PropCFDSPCU(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, opts Op
 	if err != nil {
 		return nil, err
 	}
-	return &UnionResult{Cover: cover, ViewSchema: viewSchema, Candidates: len(candidates)}, nil
+	return &UnionResult{
+		Cover:      cover,
+		ViewSchema: viewSchema,
+		Candidates: len(candidates),
+		MemoHits:   memoHits,
+		MemoMisses: memoMisses,
+	}, nil
 }
 
 // IsPropagated decides via the computed cover; since the union cover may

@@ -181,3 +181,50 @@ func TestUnionOfIdenticalDisjunctsMatchesSPC(t *testing.T) {
 		}
 	}
 }
+
+// TestUnionMemoSharedAcrossCandidates: the candidate checks inside one
+// PropCFDSPCU call share a memo, so the pair-emptiness work (and any
+// repeated pair verdicts) replay instead of re-chasing; the counters must
+// surface in the result and must not change the cover. A caller-supplied
+// memo reused for a second identical call must replay every pair verdict.
+func TestUnionMemoSharedAcrossCandidates(t *testing.T) {
+	db, view, sigma := example11View()
+	base, err := PropCFDSPCU(db, view, sigma, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MemoMisses == 0 {
+		t.Fatal("first call must record memo misses (pairs chased and stored)")
+	}
+	memo := propagation.NewMemo()
+	cold, err := PropCFDSPCU(db, view, sigma, Options{Memo: memo, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hit/miss counters track pair verdicts only (each candidate has its
+	// own φ, so a single call sees no pair hits); the cross-candidate win
+	// inside one call is the disjunct-emptiness replay, visible in Stats.
+	if st := memo.Stats(); st.Pairs == 0 || st.Disjuncts == 0 {
+		t.Errorf("memo after a cold call: %+v, want pair and disjunct entries", st)
+	}
+	warm, err := PropCFDSPCU(db, view, sigma, Options{Memo: memo, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.MemoMisses != 0 {
+		t.Errorf("warm call over an identical workload: %d misses, want 0", warm.MemoMisses)
+	}
+	if warm.MemoHits == 0 {
+		t.Error("warm call must replay from the shared memo")
+	}
+	for _, res := range []*UnionResult{cold, warm} {
+		if len(res.Cover) != len(base.Cover) {
+			t.Fatalf("memoised cover size %d != base %d", len(res.Cover), len(base.Cover))
+		}
+		for i := range res.Cover {
+			if res.Cover[i].String() != base.Cover[i].String() {
+				t.Errorf("cover[%d]: memoised %s != base %s", i, res.Cover[i], base.Cover[i])
+			}
+		}
+	}
+}

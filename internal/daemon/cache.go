@@ -14,6 +14,7 @@ import (
 	"cfdprop/internal/core"
 	"cfdprop/internal/faultinject"
 	"cfdprop/internal/implication"
+	"cfdprop/internal/propagation"
 	"cfdprop/internal/rel"
 	"cfdprop/internal/spec"
 )
@@ -30,6 +31,12 @@ type entry struct {
 	sigma []*cfd.CFD
 	view  *algebra.SPCU
 	vs    *rel.Schema // view schema
+	// memo caches §3 pair verdicts and disjunct emptiness across this
+	// universe's /v1/check and cover requests. A propagation.Memo is valid
+	// for exactly one (schema, Σ, V) — which is exactly what an entry pins
+	// down — so a Σ edit invalidates it by construction: editSigma builds a
+	// new entry with a fresh memo (generation + 1).
+	memo *propagation.Memo
 
 	mu sync.Mutex
 	// pool is the warm implication.Pool over the view schema, its Σ set to
@@ -75,6 +82,7 @@ func compileEntry(p *spec.Problem, poolSize int) (*entry, error) {
 		sigma:    sigma,
 		view:     view,
 		vs:       vs,
+		memo:     propagation.NewMemo(),
 		poolSize: poolSize,
 	}, nil
 }
@@ -107,6 +115,7 @@ func (e *entry) editSigma(cfds []string) (*entry, error) {
 		sigma:    sigma,
 		view:     e.view,
 		vs:       e.vs,
+		memo:     propagation.NewMemo(),
 		poolSize: e.poolSize,
 	}, nil
 }
@@ -155,7 +164,7 @@ func (e *entry) coverWith(ctx context.Context, parallelism, maxCoverSize int) (*
 
 // coverLocked runs the cover computation for this universe.
 func (e *entry) coverLocked(ctx context.Context, parallelism, maxCoverSize int) (*coverOutcome, error) {
-	opts := core.Options{Context: ctx, Parallelism: parallelism, MaxCoverSize: maxCoverSize}
+	opts := core.Options{Context: ctx, Parallelism: parallelism, MaxCoverSize: maxCoverSize, Memo: e.memo}
 	if len(e.view.Disjuncts) == 1 {
 		res, err := core.PropCFDSPC(e.db, e.view.Disjuncts[0], e.sigma, opts)
 		if err != nil {
@@ -220,6 +229,9 @@ type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// Memo aggregates the §3 pair-verdict memo counters over the live
+	// entries (evicted entries take their memo with them).
+	Memo propagation.MemoStats `json:"memo"`
 }
 
 // cache is the LRU of compiled universes, keyed by (Σ, V) fingerprint.
@@ -325,10 +337,18 @@ func (c *cache) replace(old, fresh *entry) (*entry, error) {
 func (c *cache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
+	st := CacheStats{
 		Entries:   c.lru.Len(),
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
 	}
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		m := el.Value.(*entry).memo.Stats()
+		st.Memo.Pairs += m.Pairs
+		st.Memo.Disjuncts += m.Disjuncts
+		st.Memo.Hits += m.Hits
+		st.Memo.Misses += m.Misses
+	}
+	return st
 }

@@ -289,6 +289,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.deadlineCtx(r, req.DeadlineMillis)
 	defer cancel()
 	opts.Context = ctx
+	// The universe's memo replays pair verdicts across requests (and across
+	// the φ batch); a Σ edit swaps in a fresh entry with a fresh memo.
+	opts.Memo = e.memo
 
 	resp := CheckResponse{Universe: e.fp, Generation: e.gen}
 	for i, phi := range parsed {

@@ -48,15 +48,16 @@ const exampleSpecJSON = `{
   }
 }`
 
-// slowSpecJSON is the 4^10-instantiation general-setting workload of the
-// propagation stop tests as a spec: checking V(A1 -> A8) takes seconds, so
-// a millisecond-scale deadline reliably interrupts it.
+// slowSpecJSON is a 4^16-instantiation general-setting workload as a
+// spec: checking V(A1 -> A8) takes far longer than any test deadline even
+// on the factorised chase path, so a millisecond-scale deadline reliably
+// interrupts it.
 var slowSpecJSON = func() string {
 	var attrs, cfds []string
 	for i := 1; i <= 8; i++ {
 		attrs = append(attrs, fmt.Sprintf("%q", fmt.Sprintf("A%d", i)))
 	}
-	for i := 1; i <= 5; i++ {
+	for i := 1; i <= 8; i++ {
 		attrs = append(attrs, fmt.Sprintf("%q", fmt.Sprintf("F%d:0|1|2|3", i)))
 	}
 	for i := 1; i < 8; i++ {
@@ -147,8 +148,10 @@ func TestCheckMatchesLibrary(t *testing.T) {
 	}
 
 	for _, phi := range []string{"R([CC=44, zip] -> [street])", "R(street -> zip)"} {
+		// A fresh memo per φ mirrors the daemon's cold universe entry: the
+		// two φ use disjoint memo keys, so each request records only misses.
 		res, err := propagation.Check(db, view, sigma, mustParseCFD(t, phi),
-			propagation.Options{WantCounterexample: true, Parallelism: 1})
+			propagation.Options{WantCounterexample: true, Parallelism: 1, Memo: propagation.NewMemo()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -405,7 +408,9 @@ func TestGracefulDrain(t *testing.T) {
 	}
 	inflight := make(chan result, 1)
 	go func() {
-		data, _ := json.Marshal(&CheckRequest{Spec: slow, Phi: "V(A1 -> A8)", DeadlineMillis: 800})
+		// The cap is raised past the 4^16 space so the enumeration cannot
+		// truncate-and-finish before the deadline fires.
+		data, _ := json.Marshal(&CheckRequest{Spec: slow, Phi: "V(A1 -> A8)", DeadlineMillis: 800, MaxInstantiations: 1 << 33})
 		resp, err := http.Post(hs.URL+"/v1/check", "application/json", bytes.NewReader(data))
 		if err != nil {
 			inflight <- result{code: -1}
@@ -655,4 +660,108 @@ func TestAdmissionUnit(t *testing.T) {
 	if st2.InFlight != 0 || !st2.Draining || st2.Admitted != 3 || st2.Shed != 1 {
 		t.Fatalf("final stats: %+v", st2)
 	}
+}
+
+// TestCheckMemoAcrossRequests: a universe's verdict memo carries across
+// /v1/check requests — a repeat of an identical request replays from the
+// memo with no misses — a Σ edit swaps in a fresh memo, and /statusz
+// aggregates the counters over the live entries.
+func TestCheckMemoAcrossRequests(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	problem := mustProblem(t, exampleSpecJSON)
+	req := &CheckRequest{Spec: problem, Phi: "R([CC=44, zip] -> [street])", Parallelism: 1}
+
+	var resp CheckResponse
+	checkOnce := func() CheckResult {
+		t.Helper()
+		code, _, body := post(t, hs.URL+"/v1/check", nil, req)
+		if code != http.StatusOK {
+			t.Fatalf("check: status %d: %s", code, body)
+		}
+		resp = CheckResponse{}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != 1 {
+			t.Fatalf("%d results", len(resp.Results))
+		}
+		return resp.Results[0]
+	}
+
+	cold := checkOnce()
+	if cold.MemoMisses == 0 {
+		t.Fatal("cold check must record memo misses")
+	}
+	if cold.MemoHits != 0 {
+		t.Errorf("cold check: %d hits, want 0", cold.MemoHits)
+	}
+	warm := checkOnce()
+	if warm.MemoMisses != 0 || warm.MemoHits != cold.MemoMisses {
+		t.Errorf("warm check: hits=%d misses=%d, want hits=%d misses=0",
+			warm.MemoHits, warm.MemoMisses, cold.MemoMisses)
+	}
+	if warm.Propagated != cold.Propagated || warm.PairsChecked != cold.PairsChecked {
+		t.Errorf("memo replay changed the result: cold %+v, warm %+v", cold, warm)
+	}
+
+	code, body := get(t, hs.URL+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz: status %d: %s", code, body)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Memo.Pairs == 0 || st.Cache.Memo.Hits == 0 || st.Cache.Memo.Misses == 0 {
+		t.Errorf("statusz memo stats not aggregated: %+v", st.Cache.Memo)
+	}
+
+	// A Σ edit re-keys the universe with a fresh memo: the next check on
+	// the new fingerprint starts cold again.
+	code, _, body = post(t, hs.URL+"/v1/universe", nil, &UniverseRequest{Spec: problem})
+	if code != http.StatusOK {
+		t.Fatalf("register: status %d: %s", code, body)
+	}
+	var u UniverseResponse
+	if err := json.Unmarshal(body, &u); err != nil {
+		t.Fatal(err)
+	}
+	putReq, err := http.NewRequest(http.MethodPut, hs.URL+"/v1/universe/"+u.Universe+"/sigma", bytes.NewReader(mustJSON(t, &SigmaRequest{CFDs: []string{"R1(zip -> street)", "R1(AC -> city)"}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp, err := http.DefaultClient.Do(putReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer putResp.Body.Close()
+	var edited UniverseResponse
+	if err := json.NewDecoder(putResp.Body).Decode(&edited); err != nil {
+		t.Fatal(err)
+	}
+	if putResp.StatusCode != http.StatusOK {
+		t.Fatalf("sigma edit: status %d", putResp.StatusCode)
+	}
+	req2 := &CheckRequest{Universe: edited.Universe, Phi: req.Phi, Parallelism: 1}
+	code, _, body = post(t, hs.URL+"/v1/check", nil, req2)
+	if code != http.StatusOK {
+		t.Fatalf("check after edit: status %d: %s", code, body)
+	}
+	var after CheckResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Results[0].MemoHits != 0 || after.Results[0].MemoMisses == 0 {
+		t.Errorf("post-edit check must start on a fresh memo: hits=%d misses=%d",
+			after.Results[0].MemoHits, after.Results[0].MemoMisses)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }

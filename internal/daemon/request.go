@@ -182,7 +182,11 @@ type CheckResult struct {
 	Truncated      bool                   `json:"truncated,omitempty"`
 	PairsChecked   int                    `json:"pairs_checked"`
 	Instantiations int                    `json:"instantiations,omitempty"`
-	Counterexample []WitnessRelation      `json:"counterexample,omitempty"`
+	// MemoHits / MemoMisses count pair checks served from (resp. stored
+	// into) the universe's verdict memo.
+	MemoHits       int               `json:"memo_hits,omitempty"`
+	MemoMisses     int               `json:"memo_misses,omitempty"`
+	Counterexample []WitnessRelation `json:"counterexample,omitempty"`
 }
 
 // WitnessRelation is one relation of a counterexample source database,
@@ -202,6 +206,8 @@ func ResultOf(phi string, res *propagation.Result, db *rel.DBSchema) CheckResult
 		Truncated:      res.Truncated,
 		PairsChecked:   res.PairsChecked,
 		Instantiations: res.Instantiations,
+		MemoHits:       res.MemoHits,
+		MemoMisses:     res.MemoMisses,
 	}
 	if res.Counterexample != nil {
 		for _, name := range db.Names() {

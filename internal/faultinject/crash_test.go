@@ -353,6 +353,111 @@ func TestPropagationCancelInjection(t *testing.T) {
 	}
 }
 
+// generalWorkload: a 2-disjunct union whose source mixes an infinite FD
+// chain with two finite attributes, so the general-setting check runs the
+// factorised enumeration (81 assignments per pair) and crosses the
+// chase-rewind seam once per assignment.
+func generalWorkload() (*rel.DBSchema, *algebra.SPCU, []*cfd.CFD, *cfd.CFD, *cfd.CFD) {
+	db := rel.MustDBSchema(rel.MustSchema("R1",
+		rel.Attribute{Name: "A1", Domain: rel.Infinite()},
+		rel.Attribute{Name: "A2", Domain: rel.Infinite()},
+		rel.Attribute{Name: "A3", Domain: rel.Infinite()},
+		rel.Attribute{Name: "F1", Domain: rel.FiniteDomain("d", "1", "2", "3")},
+		rel.Attribute{Name: "F2", Domain: rel.FiniteDomain("d", "1", "2", "3")},
+	))
+	attrs := []string{"A1", "A2", "A3", "F1", "F2"}
+	sigma := []*cfd.CFD{
+		cfd.MustParse("R1(A1 -> A2)"),
+		cfd.MustParse("R1(A2 -> A3)"),
+	}
+	ds := make([]*algebra.SPC, 2)
+	for d := range ds {
+		ds[d] = &algebra.SPC{
+			Name:       "V",
+			Atoms:      []algebra.RelAtom{{Source: "R1", Attrs: attrs}},
+			Selection:  []algebra.EqAtom{{Left: "A3", IsConst: true, Right: fmt.Sprintf("%d", d+1)}},
+			Projection: attrs,
+		}
+	}
+	view, err := algebra.NewSPCU("V", ds...)
+	if err != nil {
+		panic(err)
+	}
+	return db, view, sigma, cfd.MustParse("V(A1 -> A3)"), cfd.MustParse("V(A3 -> A1)")
+}
+
+// TestChaseRewindFaults arms panics and delays at the factorised chase's
+// rewind seam — the snapshot/rollback boundary the general-setting
+// enumeration crosses between assignments — plus the chase-step seam, and
+// checks the contract: a panic surfaces as an Injected panic (serial) or a
+// captured worker error (parallel), never a crash, deadlock or lost
+// worker; a delay never changes the Result; and a fault-free rerun is
+// byte-identical to the reference.
+func TestChaseRewindFaults(t *testing.T) {
+	defer faultinject.Reset()
+	db, view, sigma, phiYes, phiNo := generalWorkload()
+
+	refs := map[*cfd.CFD]*propagation.Result{}
+	for _, phi := range []*cfd.CFD{phiYes, phiNo} {
+		ref, err := propagation.Check(db, view, sigma, phi, propagation.Options{
+			General: true, WantCounterexample: true, Parallelism: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[phi] = ref
+	}
+
+	sites := []string{faultinject.SiteChaseRewind, faultinject.SiteChaseStep}
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(6000 + seed))
+		phi := phiYes
+		if seed%2 == 1 {
+			phi = phiNo
+		}
+		par := []int{1, 4, 8}[rng.Intn(3)]
+		rule := faultinject.Rule{
+			Site: sites[rng.Intn(len(sites))],
+			Nth:  int64(1 + rng.Intn(120)),
+			Act:  faultinject.Panic,
+		}
+		delay := rng.Intn(2) == 0
+		if delay {
+			rule.Act = faultinject.Delay
+			rule.Delay = time.Duration(rng.Intn(30)) * time.Microsecond
+		}
+		faultinject.Install(rule)
+		func() {
+			defer recoverInjected(t)
+			res, err := propagation.Check(db, view, sigma, phi, propagation.Options{
+				General: true, WantCounterexample: true, Parallelism: par,
+			})
+			if err != nil {
+				if !isInjectedErr(err) {
+					t.Errorf("seed %d: unexpected error: %v", seed, err)
+				}
+				return
+			}
+			// A delay (or an unfired panic rule) must not perturb anything.
+			if res.Propagated != refs[phi].Propagated || res.PairsChecked != refs[phi].PairsChecked ||
+				res.Instantiations != refs[phi].Instantiations || res.Truncated != refs[phi].Truncated {
+				t.Errorf("seed %d: %s diverged under faults: %+v vs %+v", seed, phi, res, refs[phi])
+			}
+		}()
+
+		faultinject.Reset()
+		res, err := propagation.Check(db, view, sigma, phi, propagation.Options{
+			General: true, WantCounterexample: true, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: fault-free rerun failed: %v", seed, err)
+		}
+		if res.Propagated != refs[phi].Propagated || res.Instantiations != refs[phi].Instantiations {
+			t.Fatalf("seed %d: fault-free rerun diverged: %+v vs %+v", seed, res, refs[phi])
+		}
+	}
+}
+
 // TestParutilWorkerPanicCaptured arms panics at the shared worker seam and
 // checks DoCtx returns an error — never a crash or WaitGroup deadlock —
 // on both the serial and parallel paths, with fault-free items unharmed.

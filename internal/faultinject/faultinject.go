@@ -17,6 +17,9 @@ package faultinject
 const (
 	// SiteChaseStep fires once per worklist pop of chase.Inst.Run.
 	SiteChaseStep = "chase.step"
+	// SiteChaseRewind fires inside chase.Resumable.Rewind, before the
+	// suffix state (occurrence overlay + term state) is rolled back.
+	SiteChaseRewind = "chase.rewind"
 	// SiteImplicationStep fires once per worklist pop of the implication
 	// session's two-row chase.
 	SiteImplicationStep = "implication.chase.step"

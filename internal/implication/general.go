@@ -1,0 +1,255 @@
+package implication
+
+import (
+	"fmt"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/sym"
+)
+
+// Session-level general-setting implication: the finite-domain
+// instantiation enumeration of ImpliesGeneral/ConsistentGeneral running on
+// the pooled worklist engine with a factorised chase. The
+// instantiation-independent prefix is chased once per query; each
+// assignment then binds only the enumerated roots, re-chases just the
+// consequences of those bindings (the event journal seeds the worklist
+// with exactly the CFDs whose LHS touches a changed class), and rolls the
+// suffix back through the sym undo journal (sym.Mark/Rewind). The one-shot
+// ImpliesGeneral/ConsistentGeneral keep the full re-chase-per-assignment
+// loop and serve as the differential oracle (general_test.go).
+//
+// Equivalence with the one-shot loop follows the factorised-chase contract
+// (see the propagation package): chase firings are monotone in the bound
+// constants, so the prefix firings are a subset of every assignment's and
+// the per-assignment fixpoint is identical; a root bind that fails on the
+// prefix-chased state corresponds exactly to an assignment whose full
+// chase is undefined (the one-shot's pre-chase binds never fail — its
+// roots are distinct fresh variables with in-domain values), and both
+// count as vacuous.
+
+// resumeChase re-runs the worklist chase on a template previously chased
+// to fixpoint, after new bindings were applied: the event journal seeds
+// the worklist with the CFDs whose LHS touches a changed class, and the
+// shared chaseLoop drains it.
+func (s *session) resumeChase(rows [][]sym.Term) error {
+	s.queue = s.queue[:0]
+	for i := range s.inQ {
+		s.inQ[i] = false
+	}
+	s.drainEvents(rows)
+	return s.chaseLoop(rows)
+}
+
+// generalRoots collects the distinct template variables, at universe
+// positions mentioned by the alive compiled Σ and φ, that carry a finite
+// domain — the enumeration space of a general-setting query. Unmentioned
+// columns cannot influence the chase, so restricting to mentioned ones
+// preserves the cap semantics of the one-shot procedures, whose templates
+// only contain mentioned attributes.
+func (s *session) generalRoots(rows [][]sym.Term, phi *cfd.CFD) []int {
+	n := len(s.u.Attrs)
+	want := make([]bool, n)
+	for i := range s.sigma {
+		if !s.alive(i) {
+			continue
+		}
+		cc := &s.sigma[i]
+		for _, p := range cc.lhs {
+			want[p] = true
+		}
+		for _, p := range cc.rhs {
+			want[p] = true
+		}
+	}
+	if phi != nil {
+		for _, it := range phi.LHS {
+			if p, ok := s.u.pos(it.Attr); ok {
+				want[p] = true
+			}
+		}
+		for _, it := range phi.RHS {
+			if p, ok := s.u.pos(it.Attr); ok {
+				want[p] = true
+			}
+		}
+	}
+	var roots []int
+	seen := make(map[int]bool)
+	for p := 0; p < n; p++ {
+		if !want[p] || !s.u.Attrs[p].Domain.Finite {
+			continue
+		}
+		for r := range rows {
+			if t := rows[r][p]; t.IsVar && !seen[t.Var] {
+				seen[t.Var] = true
+				roots = append(roots, t.Var)
+			}
+		}
+	}
+	return roots
+}
+
+// forAllFactorised requires verdict to hold for every instantiation of the
+// template's enumerable finite-domain variables, chasing factorised. The
+// template must be freshly built (pre-chase) in s.st.
+func (s *session) forAllFactorised(rows [][]sym.Term, phi *cfd.CFD, maxInst int, verdict func() bool) (bool, error) {
+	st := s.st
+	roots := s.generalRoots(rows, phi)
+	if len(roots) == 0 {
+		switch err := s.chase(rows); err {
+		case nil:
+			return verdict(), nil
+		case errConflict:
+			return true, nil // no template tuple can exist: vacuous
+		default:
+			return false, err
+		}
+	}
+
+	domains := make([][]string, len(roots))
+	total := 1
+	for i, r := range roots {
+		domains[i] = st.Domain(sym.Variable(r)).Values
+		if len(domains[i]) == 0 {
+			return false, fmt.Errorf("implication: variable with empty finite domain")
+		}
+		if total > maxInst/len(domains[i]) {
+			return false, fmt.Errorf("implication: instantiation count exceeds cap %d", maxInst)
+		}
+		total *= len(domains[i])
+	}
+
+	// The instantiation-independent prefix, chased once.
+	switch err := s.chase(rows); err {
+	case nil:
+	case errConflict:
+		return true, nil // every assignment's chase is undefined
+	default:
+		return false, err
+	}
+
+	st.BeginUndo()
+	defer st.EndUndo()
+	m0 := st.MarkNow()
+	choice := make([]int, len(roots))
+	for {
+		vacuous := false
+		for i, r := range roots {
+			if st.Bind(sym.Variable(r), domains[i][choice[i]]) != nil {
+				// The prefix bound or merged this root incompatibly: the
+				// one-shot chase of this assignment would be undefined.
+				vacuous = true
+				break
+			}
+		}
+		if !vacuous {
+			switch err := s.resumeChase(rows); err {
+			case nil:
+				if !verdict() {
+					st.Rewind(m0)
+					return false, nil
+				}
+			case errConflict:
+				// Vacuous: the assignment admits no template tuple.
+			default:
+				st.Rewind(m0)
+				return false, err
+			}
+		}
+		st.Rewind(m0)
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(domains[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return true, nil
+		}
+	}
+}
+
+// impliesGeneral decides Σ |= φ in the general setting on the compiled Σ
+// (phi in normal form, validated against the universe).
+func (s *session) impliesGeneral(phi *cfd.CFD, maxInst int) (bool, error) {
+	if !s.anyFinite {
+		// No finite domains: the general setting coincides with the
+		// infinite one, closure fast path included.
+		return s.implies(phi)
+	}
+	if s.done != nil {
+		select {
+		case <-s.done:
+			return false, s.ctx.Err()
+		default:
+		}
+	}
+	if phi.Equality {
+		a, ok1 := s.u.pos(phi.LHS[0].Attr)
+		b, ok2 := s.u.pos(phi.RHS[0].Attr)
+		if !ok1 || !ok2 {
+			return false, fmt.Errorf("implication: %s mentions attribute outside the universe", phi)
+		}
+		if a == b {
+			return true, nil
+		}
+		rows, err := s.template(1)
+		if err != nil {
+			return false, err
+		}
+		return s.forAllFactorised(rows, phi, maxInst, func() bool {
+			return s.st.SameTerm(rows[0][a], rows[0][b])
+		})
+	}
+
+	for _, it := range phi.LHS {
+		p, ok := s.u.pos(it.Attr)
+		if !ok {
+			return false, fmt.Errorf("implication: %s mentions attribute outside the universe", phi)
+		}
+		s.sharedOn[p] = true
+		s.sharedPat[p] = it.Pat
+	}
+	defer s.clearShared(phi)
+
+	rhs := phi.RHS[0]
+	ai, ok := s.u.pos(rhs.Attr)
+	if !ok {
+		return false, fmt.Errorf("implication: %s mentions attribute outside the universe", phi)
+	}
+	rows, err := s.template(2)
+	if err != nil {
+		return false, err
+	}
+	return s.forAllFactorised(rows, phi, maxInst, func() bool {
+		st := s.st
+		a1 := st.Resolve(rows[0][ai])
+		a2 := st.Resolve(rows[1][ai])
+		if !st.SameTerm(a1, a2) {
+			return false
+		}
+		if rhs.Pat.Wildcard {
+			return true
+		}
+		return !a1.IsVar && a1.Const == rhs.Pat.Const
+	})
+}
+
+// consistentGeneral reports whether some instantiation lets a single
+// generic tuple chase through the compiled Σ.
+func (s *session) consistentGeneral(maxInst int) (bool, error) {
+	rows, err := s.template(1)
+	if err != nil {
+		return false, err
+	}
+	// Existential: forall(chase undefined) == !exists(chase defined). A
+	// verdict of false (the chase succeeded) short-circuits the forall —
+	// which is exactly the witness the existential needs.
+	ok, err := s.forAllFactorised(rows, nil, maxInst, func() bool { return false })
+	if err != nil {
+		return false, err
+	}
+	return !ok, nil
+}

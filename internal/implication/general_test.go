@@ -1,0 +1,243 @@
+package implication
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+// generalWorkload builds a randomized universe mixing finite and infinite
+// domains, a random Σ over it (including constant patterns and equality
+// CFDs), and a pool of candidate φ. The one-shot ImpliesGeneral /
+// ConsistentGeneral are the differential oracles for the session-level
+// factorised enumeration.
+func generalWorkload(seed int64) (Universe, []*cfd.CFD, []*cfd.CFD) {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"A", "B", "C", "D", "E"}
+	attrs := make([]rel.Attribute, len(names))
+	for i, n := range names {
+		switch rng.Intn(3) {
+		case 0:
+			attrs[i] = rel.Attribute{Name: n, Domain: rel.Bool()}
+		case 1:
+			attrs[i] = rel.Attribute{Name: n, Domain: rel.FiniteDomain("d3", "0", "1", "2")}
+		default:
+			attrs[i] = rel.Attribute{Name: n, Domain: rel.Infinite()}
+		}
+	}
+	// Guarantee at least one finite domain so the general setting differs
+	// from the infinite one.
+	if !attrs[0].Domain.Finite {
+		attrs[0] = rel.Attribute{Name: names[0], Domain: rel.Bool()}
+	}
+	uni := Universe{Relation: "R", Attrs: attrs}
+
+	pat := func(a rel.Attribute) cfd.Pattern {
+		if rng.Intn(2) == 0 {
+			return cfd.Any()
+		}
+		if a.Domain.Finite {
+			return cfd.Eq(a.Domain.Values[rng.Intn(len(a.Domain.Values))])
+		}
+		return cfd.Eq(fmt.Sprintf("c%d", rng.Intn(3)))
+	}
+	randomCFD := func() *cfd.CFD {
+		if rng.Intn(8) == 0 {
+			i, j := rng.Intn(len(attrs)), rng.Intn(len(attrs))
+			if i != j {
+				return cfd.NewEquality("R", names[i], names[j])
+			}
+		}
+		perm := rng.Perm(len(attrs))
+		k := 1 + rng.Intn(2)
+		lhs := make([]cfd.Item, k)
+		for i := 0; i < k; i++ {
+			lhs[i] = cfd.Item{Attr: names[perm[i]], Pat: pat(attrs[perm[i]])}
+		}
+		r := perm[k]
+		rhs := []cfd.Item{{Attr: names[r], Pat: pat(attrs[r])}}
+		return &cfd.CFD{Relation: "R", LHS: lhs, RHS: rhs}
+	}
+
+	sigma := make([]*cfd.CFD, 3+rng.Intn(4))
+	for i := range sigma {
+		sigma[i] = randomCFD()
+	}
+	phis := make([]*cfd.CFD, 12)
+	for i := range phis {
+		phis[i] = randomCFD()
+	}
+	return uni, sigma, phis
+}
+
+// TestSessionImpliesGeneralMatchesOneShot sweeps randomized finite-domain
+// workloads and requires the session's factorised enumeration to agree,
+// verdict for verdict (and error string for error string), with the
+// one-shot full-rechase ImpliesGeneral.
+func TestSessionImpliesGeneralMatchesOneShot(t *testing.T) {
+	compared := 0
+	for seed := int64(0); seed < 60; seed++ {
+		uni, sigma, phis := generalWorkload(seed)
+		sess := NewSession(uni)
+		if err := sess.SetSigma(sigma); err != nil {
+			t.Fatalf("seed %d: SetSigma: %v", seed, err)
+		}
+		for i, phi := range phis {
+			want, wantErr := ImpliesGeneral(uni, sigma, phi, 0)
+			got, gotErr := sess.ImpliesGeneral(phi, 0)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed %d phi %d (%s): one-shot err %v, session err %v", seed, i, phi, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("seed %d phi %d: error mismatch %q vs %q", seed, i, wantErr, gotErr)
+				}
+				continue
+			}
+			if want != got {
+				t.Fatalf("seed %d phi %d (%s): one-shot %v, session %v\nΣ = %v", seed, i, phi, want, got, sigma)
+			}
+			compared++
+		}
+	}
+	if compared < 500 {
+		t.Fatalf("only %d comparisons ran; workload too degenerate", compared)
+	}
+}
+
+// TestSessionConsistentGeneralMatchesOneShot does the same for the
+// consistency (existential) direction.
+func TestSessionConsistentGeneralMatchesOneShot(t *testing.T) {
+	for seed := int64(100); seed < 180; seed++ {
+		uni, sigma, _ := generalWorkload(seed)
+		sess := NewSession(uni)
+		if err := sess.SetSigma(sigma); err != nil {
+			t.Fatalf("seed %d: SetSigma: %v", seed, err)
+		}
+		want, wantErr := ConsistentGeneral(uni, sigma, 0)
+		got, gotErr := sess.ConsistentGeneral(0)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("seed %d: one-shot err %v, session err %v", seed, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if want != got {
+			t.Fatalf("seed %d: one-shot consistent=%v, session=%v\nΣ = %v", seed, want, got, sigma)
+		}
+	}
+}
+
+// TestSessionImpliesGeneralCapParity pins down the cap-exceeded error: both
+// engines must refuse the same query with the identical message.
+func TestSessionImpliesGeneralCapParity(t *testing.T) {
+	uni := Universe{Relation: "R", Attrs: []rel.Attribute{
+		{Name: "A", Domain: rel.FiniteDomain("d3", "0", "1", "2")},
+		{Name: "B", Domain: rel.FiniteDomain("d3", "0", "1", "2")},
+		{Name: "C", Domain: rel.Infinite()},
+	}}
+	sigma := parse(t, `R(A -> C)`, `R(B -> C)`)
+	phi := cfd.MustParse(`R([A, B] -> [C])`)
+
+	_, wantErr := ImpliesGeneral(uni, sigma, phi, 2)
+	if wantErr == nil {
+		t.Fatal("one-shot: want cap error, got nil")
+	}
+	sess := NewSession(uni)
+	if err := sess.SetSigma(sigma); err != nil {
+		t.Fatal(err)
+	}
+	_, gotErr := sess.ImpliesGeneral(phi, 2)
+	if gotErr == nil {
+		t.Fatal("session: want cap error, got nil")
+	}
+	if wantErr.Error() != gotErr.Error() {
+		t.Fatalf("cap error mismatch: one-shot %q, session %q", wantErr, gotErr)
+	}
+	// A session left in a cap error must still answer later queries.
+	ok, err := sess.ImpliesGeneral(cfd.MustParse(`R(A -> C)`), 0)
+	if err != nil || !ok {
+		t.Fatalf("session after cap error: got (%v, %v), want (true, nil)", ok, err)
+	}
+}
+
+// TestSessionImpliesGeneralFiniteCaseSplit replays the canonical
+// finite-domain-only derivation through the pooled session API.
+func TestSessionImpliesGeneralFiniteCaseSplit(t *testing.T) {
+	uni := Universe{Relation: "R", Attrs: []rel.Attribute{
+		{Name: "A", Domain: rel.Bool()},
+		{Name: "B", Domain: rel.Infinite()},
+		{Name: "C", Domain: rel.Infinite()},
+	}}
+	sigma := parse(t, `R([A=0] -> [C=c])`, `R([A=1] -> [C=c])`)
+	sess := NewSession(uni)
+	if err := sess.SetSigma(sigma); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := sess.Implies(cfd.MustParse(`R([B] -> [C=c])`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("infinite-domain session test must miss the finite-only implication")
+	}
+	ok, err = sess.ImpliesGeneral(cfd.MustParse(`R([B] -> [C=c])`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("session general test must derive it by enumerating dom(A)")
+	}
+	ok, err = sess.ImpliesGeneral(cfd.MustParse(`R([B] -> [C=d])`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("wrong constant must not be implied")
+	}
+}
+
+// TestPoolImpliesGeneralConcurrent hammers Pool.ImpliesGeneral from many
+// goroutines and checks every verdict against the one-shot oracle.
+func TestPoolImpliesGeneralConcurrent(t *testing.T) {
+	uni, sigma, phis := generalWorkload(42)
+	want := make([]bool, len(phis))
+	wantErr := make([]error, len(phis))
+	for i, phi := range phis {
+		want[i], wantErr[i] = ImpliesGeneral(uni, sigma, phi, 0)
+	}
+
+	p := NewPool(uni, 4)
+	defer p.Close()
+	if err := p.SetSigma(sigma); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8*len(phis))
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, phi := range phis {
+				got, err := p.ImpliesGeneral(phi, 0)
+				if (err == nil) != (wantErr[i] == nil) {
+					errCh <- fmt.Errorf("goroutine %d phi %d: err %v, oracle err %v", g, i, err, wantErr[i])
+					return
+				}
+				if err == nil && got != want[i] {
+					errCh <- fmt.Errorf("goroutine %d phi %d (%s): got %v, want %v", g, i, phi, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

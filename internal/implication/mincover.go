@@ -95,6 +95,44 @@ func (s *Session) Implies(phi *cfd.CFD) (bool, error) {
 	return true, nil
 }
 
+// ImpliesGeneral decides Σ |= φ in the general (finite-domain) setting on
+// the session's compiled Σ, enumerating up to maxInst instantiations of
+// the finite-domain template variables (0 means DefaultMaxInstantiations).
+// Unlike the one-shot ImpliesGeneral — kept as the differential oracle —
+// the session enumerates over a factorised chase: the instantiation-
+// independent prefix is chased once, each assignment re-chases only the
+// consequences of its root bindings, and the suffix is rolled back through
+// the sym undo journal. Multi-RHS φ are normalized on the fly.
+func (s *Session) ImpliesGeneral(phi *cfd.CFD, maxInst int) (bool, error) {
+	if maxInst <= 0 {
+		maxInst = DefaultMaxInstantiations
+	}
+	if err := s.inner.u.checkCFD(phi); err != nil {
+		return false, err
+	}
+	if phi.Equality || len(phi.RHS) == 1 {
+		return s.inner.impliesGeneral(phi, maxInst)
+	}
+	for _, p := range phi.Normalize() {
+		ok, err := s.inner.impliesGeneral(p, maxInst)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// ConsistentGeneral reports whether some nonempty instance satisfies the
+// session's compiled Σ in the general setting: it searches for a
+// finite-domain instantiation under which the single-tuple chase succeeds
+// (0 means DefaultMaxInstantiations).
+func (s *Session) ConsistentGeneral(maxInst int) (bool, error) {
+	if maxInst <= 0 {
+		maxInst = DefaultMaxInstantiations
+	}
+	return s.inner.consistentGeneral(maxInst)
+}
+
 // MinCover computes a minimal cover of Σ (all CFDs on the universe's
 // relation) per §4.1 of the paper: the result is equivalent to Σ, contains
 // only nontrivial normal-form CFDs, has no CFD with a redundant LHS
@@ -185,6 +223,68 @@ func (s *Session) minCoverPrep(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 	return work, nil
 }
 
+// minCoverNormalize runs MinCover's first phase alone — normalize to
+// single-RHS, drop trivial CFDs, dedup, compile — leaving the session
+// ready for left-reduction probes against the work set it returns.
+func (s *Session) minCoverNormalize(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
+	s.poolDirty = true // recompiles Σ; a pool owner must refresh before reuse
+	sess := s.inner
+	work := make([]*cfd.CFD, 0, len(sigma))
+	for _, c := range cfd.NormalizeAll(sigma) {
+		if c.Relation != sess.u.Relation {
+			continue
+		}
+		if c.IsTrivial() {
+			continue
+		}
+		work = append(work, c.Clone())
+	}
+	work = cfd.Dedup(work)
+	if err := sess.setSigma(work); err != nil {
+		return nil, err
+	}
+	return work, nil
+}
+
+// leftReduceOne left-reduces one candidate against the session's compiled
+// Σ, replaying minCoverPrep's probe sequence exactly: scan LHS positions in
+// order, drop the first removable attribute, restart. The serial loop
+// probes against a Σ it updates as candidates reduce, but every update
+// swaps a CFD for an equivalent one (the reduced CFD implies the original
+// and was implied by Σ), so probing against the unreduced compiled work
+// set answers identically — which makes per-candidate reduction
+// order-independent and safe to fan out (Pool.MinCover).
+func (s *Session) leftReduceOne(c *cfd.CFD) (*cfd.CFD, error) {
+	if c.Equality {
+		return c, nil
+	}
+	sess := s.inner
+	probe := &cfd.CFD{}
+	changed := true
+	for changed && len(c.LHS) > 0 {
+		changed = false
+		for j := range c.LHS {
+			probe.Relation = c.Relation
+			probe.LHS = append(probe.LHS[:0], c.LHS[:j]...)
+			probe.LHS = append(probe.LHS, c.LHS[j+1:]...)
+			probe.RHS = c.RHS
+			if probe.IsTrivial() {
+				continue
+			}
+			ok, err := sess.implies(probe)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				c = probe.Clone()
+				changed = true
+				break
+			}
+		}
+	}
+	return c, nil
+}
+
 // minCoverRedundancy runs the redundancy phase over a work set the session
 // has already compiled (via minCoverPrep): exclude one candidate at a time
 // via the skip mask, and tombstone it when the survivors imply it. When
@@ -217,6 +317,24 @@ func (s *Session) minCoverRedundancy(work []*cfd.CFD, maybe []bool) ([]*cfd.CFD,
 		}
 	}
 	return out, nil
+}
+
+// minCoverReduceSerial left-reduces the whole work set on this session —
+// minCoverPrep's tail expressed through leftReduceOne — and recompiles the
+// session with the reduced, deduplicated result.
+func (s *Session) minCoverReduceSerial(work []*cfd.CFD) ([]*cfd.CFD, error) {
+	for i, c := range work {
+		r, err := s.leftReduceOne(c)
+		if err != nil {
+			return nil, err
+		}
+		work[i] = r
+	}
+	work = cfd.Dedup(work)
+	if err := s.inner.setSigma(work); err != nil {
+		return nil, err
+	}
+	return work, nil
 }
 
 // MinCover is the one-shot form of Session.MinCover.

@@ -299,6 +299,18 @@ func (p *Pool) Implies(phi *cfd.CFD) (bool, error) {
 	return s.Implies(phi)
 }
 
+// ImpliesGeneral reports whether the pool's Σ implies φ in the general
+// (finite-domain) setting, on one exclusively borrowed shard; maxInst 0
+// selects DefaultMaxInstantiations. Safe for concurrent use.
+func (p *Pool) ImpliesGeneral(phi *cfd.CFD, maxInst int) (bool, error) {
+	s, err := p.Borrow()
+	if err != nil {
+		return false, err
+	}
+	defer p.returnRecovered(s)
+	return s.ImpliesGeneral(phi, maxInst)
+}
+
 // returnRecovered is Return for defer sites that may unwind through a
 // panic: the shard is reset and handed back dirty, then the panic resumes.
 func (p *Pool) returnRecovered(s *Session) {
@@ -313,10 +325,14 @@ func (p *Pool) returnRecovered(s *Session) {
 
 // MinCover computes the minimal cover of sigma exactly as Session.MinCover
 // does — same tombstone semantics, byte-identical output order — but fans
-// the candidate-redundancy tests across shards:
+// both quadratic phases across shards:
 //
-//  1. normalize/dedup and left-reduce on one shard (sequential by nature:
-//     each reduction feeds the next probe's Σ);
+//  1. normalize/dedup on one shard, then left-reduce every candidate in
+//     parallel against the unreduced work set. The serial loop probes
+//     against a Σ it updates as candidates reduce, but every update swaps
+//     a CFD for an equivalent one, so each candidate's reduction is
+//     order-independent (see Session.leftReduceOne) and its probe answers
+//     — hence its reduced form — are byte-identical to the serial loop's;
 //  2. screen every candidate in parallel against the full reduced set
 //     minus itself. A candidate the screen does NOT imply can never become
 //     redundant later — the serial loop tests it against a subset of the
@@ -326,29 +342,36 @@ func (p *Pool) returnRecovered(s *Session) {
 //     loop in candidate order over the (usually short) maybe-redundant
 //     list.
 //
-// The screen uses however many shards are free at call time (at least the
-// one running the call), so concurrent MinCover calls degrade gracefully
-// instead of deadlocking. A panic inside a screen worker is recovered at
-// the worker boundary and surfaces as an error; every shard returns to the
-// pool regardless.
+// Both parallel phases use however many shards are free at call time (at
+// least the one running the call), so concurrent MinCover calls degrade
+// gracefully instead of deadlocking. A panic inside a worker is recovered
+// at the worker boundary and surfaces as an error; every shard returns to
+// the pool regardless.
 func (p *Pool) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 	ctx := p.context()
-	s0, err := p.takeCtx(ctx) // raw: minCoverPrep compiles its own work set
+	s0, err := p.takeCtx(ctx) // raw: compiles its own work set below
 	if err != nil {
 		return nil, err
 	}
 	s0.SetContext(ctx)
 	defer p.returnRecovered(s0)
 
-	work, err := s0.minCoverPrep(sigma)
+	work, err := s0.minCoverNormalize(sigma)
 	if err != nil {
 		return nil, err
 	}
-	if p.size == 1 || len(work) < 2 {
+	serial := func() ([]*cfd.CFD, error) {
+		work, err := s0.minCoverReduceSerial(work)
+		if err != nil {
+			return nil, err
+		}
 		return s0.minCoverRedundancy(work, nil)
 	}
+	if p.size == 1 || len(work) < 2 {
+		return serial()
+	}
 
-	// Grab extra free shards opportunistically for the screen.
+	// Grab extra free shards opportunistically, compiled with the work set.
 	extra := make([]*Session, 0, p.size-1)
 	for len(extra) < p.size-1 && len(extra)+1 < len(work) {
 		s, ok := p.tryTake()
@@ -357,7 +380,7 @@ func (p *Pool) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 		}
 		s.poolDirty = true // compiled with work, not the pool Σ
 		if err := s.inner.setSigma(work); err != nil {
-			// Unreachable: work compiled in minCoverPrep on s0.
+			// Unreachable: work compiled in minCoverNormalize on s0.
 			p.Return(s)
 			for _, e := range extra {
 				p.Return(e)
@@ -373,51 +396,87 @@ func (p *Pool) MinCover(sigma []*cfd.CFD) ([]*cfd.CFD, error) {
 		}
 	}()
 	if len(extra) == 0 {
-		return s0.minCoverRedundancy(work, nil)
+		return serial()
 	}
 
-	// Parallel screen: maybe[i] reports work[i] implied by work − {work[i]}.
-	// Each worker recovers its own panics so a fault in one shard's query
-	// surfaces as an error on that candidate instead of crashing the
-	// process or deadlocking the WaitGroup; the faulted shard is Reset so
-	// it re-enters the pool quiescent (it is already tagged dirty).
-	maybe := make([]bool, len(work))
+	// fanOut runs job(sess, i) for every candidate index across s0 and the
+	// extra shards. Each worker recovers its own panics so a fault in one
+	// shard's query surfaces as an error on that candidate instead of
+	// crashing the process or deadlocking the WaitGroup; the faulted shard
+	// is Reset so it re-enters the pool quiescent (already tagged dirty).
 	errs := make([]error, len(work))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	screen := func(sess *Session) {
-		defer wg.Done()
-		inner := sess.inner
-		i := -1
-		defer func() {
-			if r := recover(); r != nil {
-				if i >= 0 && i < len(work) {
-					errs[i] = fmt.Errorf("implication: mincover screen panic on candidate %d: %v", i, r)
+	fanOut := func(phase string, job func(sess *Session, i int) error) {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		worker := func(sess *Session) {
+			defer wg.Done()
+			i := -1
+			defer func() {
+				if r := recover(); r != nil {
+					if i >= 0 && i < len(work) {
+						errs[i] = fmt.Errorf("implication: mincover %s panic on candidate %d: %v", phase, i, r)
+					}
+					sess.Reset()
 				}
-				sess.Reset()
+			}()
+			for {
+				i = int(next.Add(1) - 1)
+				if i >= len(work) {
+					sess.inner.setSkip(-1)
+					return
+				}
+				errs[i] = job(sess, i)
 			}
-		}()
-		for {
-			i = int(next.Add(1) - 1)
-			if i >= len(work) {
-				inner.setSkip(-1)
-				return
-			}
-			inner.setSkip(i)
-			ok, err := inner.implies(work[i])
-			maybe[i], errs[i] = ok, err
 		}
+		wg.Add(1 + len(extra))
+		for _, e := range extra {
+			go worker(e)
+		}
+		worker(s0)
+		wg.Wait()
 	}
-	wg.Add(1 + len(extra))
+	firstErr := func() error {
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Parallel left-reduction against the unreduced work set.
+	reduced := make([]*cfd.CFD, len(work))
+	fanOut("reduce", func(sess *Session, i int) error {
+		r, err := sess.leftReduceOne(work[i])
+		reduced[i] = r
+		return err
+	})
+	if err := firstErr(); err != nil {
+		return nil, err
+	}
+	copy(work, reduced)
+	work = cfd.Dedup(work)
+	// Recompile every shard with the reduced set for the screen.
+	if err := s0.inner.setSigma(work); err != nil {
+		return nil, err
+	}
 	for _, e := range extra {
-		go screen(e)
-	}
-	screen(s0)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+		if err := e.inner.setSigma(work); err != nil {
 			return nil, err
 		}
+	}
+	errs = errs[:len(work)]
+
+	// Parallel screen: maybe[i] reports work[i] implied by work − {work[i]}.
+	maybe := make([]bool, len(work))
+	fanOut("screen", func(sess *Session, i int) error {
+		sess.inner.setSkip(i)
+		ok, err := sess.inner.implies(work[i])
+		maybe[i] = ok
+		return err
+	})
+	if err := firstErr(); err != nil {
+		return nil, err
 	}
 	return s0.minCoverRedundancy(work, maybe)
 }

@@ -308,7 +308,13 @@ func (s *session) chase(rows [][]sym.Term) error {
 	// constants — bind them, enabling constant-pattern CFDs that were not
 	// seeded. Drain its journal like any other application's.
 	s.drainEvents(rows)
+	return s.chaseLoop(rows)
+}
 
+// chaseLoop drains the worklist to fixpoint — the shared tail of a full
+// chase and of resumeChase's suffix chase.
+func (s *session) chaseLoop(rows [][]sym.Term) error {
+	st := s.st
 	for qh := 0; qh < len(s.queue); qh++ {
 		faultinject.Hit(faultinject.SiteImplicationStep)
 		// The two-row template bounds the worklist, so one poll per pop is

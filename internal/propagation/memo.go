@@ -1,0 +1,174 @@
+package propagation
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/rel"
+)
+
+// Memo caches per-pair propagation outcomes and per-disjunct emptiness
+// across Check calls. It is safe for concurrent use and is meant to be
+// shared across the union candidates of one PropCFDSPCU run and across
+// repeated daemon requests against one compiled universe.
+//
+// Contract (the factorised-chase contract, see doc.go): a Memo is scoped
+// to one (schema, Σ, V) triple — everything a pair outcome depends on
+// besides the keyed φ. Callers must use a fresh Memo whenever Σ or the
+// view changes (the daemon allocates one per cache entry, so its Σ-edit
+// generation bump invalidates the memo for free). Entries replay the
+// exact serial-equivalent counters (Instantiations, Truncated, the
+// counterexample bytes), so a Result assembled from hits is byte-identical
+// to one computed fresh. Stopped or errored pair checks are never stored.
+type Memo struct {
+	mu    sync.Mutex
+	empty map[string]bool
+	pairs map[string]*memoPairEntry
+
+	hits, misses atomic.Int64
+}
+
+// memoPairEntry is one pair check's serial-equivalent contribution.
+type memoPairEntry struct {
+	refuted   bool
+	insts     int
+	truncated bool
+	cex       *rel.Database // nil when stored without WantCounterexample
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo {
+	return &Memo{empty: make(map[string]bool), pairs: make(map[string]*memoPairEntry)}
+}
+
+// MemoStats is a point-in-time snapshot of a memo's size and cumulative
+// hit/miss counters (summed over every Check that used it).
+type MemoStats struct {
+	Pairs     int   `json:"pairs"`
+	Disjuncts int   `json:"disjuncts"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+}
+
+// Stats snapshots the memo.
+func (m *Memo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{
+		Pairs:     len(m.pairs),
+		Disjuncts: len(m.empty),
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+	}
+}
+
+// lookupEmpty reports a disjunct's intrinsic emptiness, if known.
+func (m *Memo) lookupEmpty(key string) (empty, known bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	empty, known = m.empty[key]
+	return empty, known
+}
+
+// storeEmpty records a disjunct's intrinsic emptiness. The value is an
+// intrinsic property of the disjunct, so concurrent writers always agree.
+func (m *Memo) storeEmpty(key string, empty bool) {
+	m.mu.Lock()
+	m.empty[key] = empty
+	m.mu.Unlock()
+}
+
+// memoTxn is one Check call's view of a memo: lookups read the shared
+// store, but this call's own stores are buffered and only flushed when
+// the call completes — so the hit/miss pattern over one call's schedule
+// does not depend on the order its own workers finish in.
+type memoTxn struct {
+	m  *Memo
+	mu sync.Mutex
+	// stores is ordered: serial assembly order, so flushing preserves the
+	// first-computed entry when a key repeats.
+	stores []memoStore
+}
+
+type memoStore struct {
+	key   string
+	entry *memoPairEntry
+}
+
+func (m *Memo) begin() *memoTxn { return &memoTxn{m: m} }
+
+// lookupPair returns a stored outcome for the key. A refuted entry stored
+// without a counterexample does not satisfy a WantCounterexample lookup —
+// the caller recomputes (and the flush upgrades the entry).
+func (t *memoTxn) lookupPair(key string, wantCex bool) (*memoPairEntry, bool) {
+	t.m.mu.Lock()
+	e, ok := t.m.pairs[key]
+	t.m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if wantCex && e.refuted && e.cex == nil {
+		return nil, false
+	}
+	return e, true
+}
+
+// storePair buffers one completed pair outcome for the end-of-call flush.
+func (t *memoTxn) storePair(key string, e *memoPairEntry) {
+	t.mu.Lock()
+	t.stores = append(t.stores, memoStore{key: key, entry: e})
+	t.mu.Unlock()
+}
+
+// commit flushes the buffered stores into the shared memo and folds the
+// call's hit/miss counters into the cumulative stats. An existing entry is
+// only replaced when the new one carries a counterexample the old one
+// lacks.
+func (t *memoTxn) commit(hits, misses int) {
+	t.m.hits.Add(int64(hits))
+	t.m.misses.Add(int64(misses))
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	for _, s := range t.stores {
+		if old, ok := t.m.pairs[s.key]; ok && !(old.refuted && old.cex == nil && s.entry.cex != nil) {
+			continue
+		}
+		t.m.pairs[s.key] = s.entry
+	}
+}
+
+// disjunctKey fingerprints one union disjunct for the emptiness cache.
+func disjunctKey(e *algebra.SPC) string { return e.String() }
+
+// pairMemoKey fingerprints one pair check: the two disjunct embeddings,
+// the (normalized) view CFD, and the option knobs that shape the outcome.
+// Σ and the schema are deliberately absent — they are fixed by the Memo's
+// scope.
+func pairMemoKey(e1, e2 *algebra.SPC, phi *cfd.CFD, opts Options) string {
+	var b strings.Builder
+	b.WriteString(e1.String())
+	b.WriteByte(0)
+	b.WriteString(e2.String())
+	b.WriteByte(0)
+	b.WriteString(phi.String())
+	fmt.Fprintf(&b, "\x00g=%t,max=%d", opts.General, opts.MaxInstantiations)
+	return b.String()
+}
+
+// equalityMemoKey fingerprints one equality-CFD disjunct check.
+func equalityMemoKey(e *algebra.SPC, phi *cfd.CFD, opts Options) string {
+	var b strings.Builder
+	b.WriteString("eq\x00")
+	b.WriteString(e.String())
+	b.WriteByte(0)
+	b.WriteString(phi.String())
+	fmt.Fprintf(&b, "\x00g=%t,max=%d", opts.General, opts.MaxInstantiations)
+	return b.String()
+}

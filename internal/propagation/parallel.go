@@ -59,6 +59,8 @@ type taskOutcome struct {
 	insts     int // applicable assignments examined (serial-equivalent)
 	truncated bool
 	cex       *rel.Database
+	memoHit   bool // served from Options.Memo; counters above are a replay
+	evaluated bool // the pair reached evaluation (prepOK and the loop ran)
 }
 
 // buildSchedule replays the serial loop's iteration order given the
@@ -134,17 +136,32 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 	}
 	empty := make([]bool, k)
 	for d := 0; d < k; d++ {
+		// Emptiness is intrinsic to the disjunct, so the memo can answer
+		// without a build — the main cross-candidate win in PropCFDSPCU,
+		// where every union candidate re-scouts the same k disjuncts.
+		if opts.Memo != nil {
+			if e, known := opts.Memo.lookupEmpty(disjunctKey(view.Disjuncts[d])); known {
+				empty[d] = e
+				continue
+			}
+		}
 		scout.reset()
 		if _, err := buildTableau(scout.ci, db, view.Disjuncts[d]); err != nil {
 			if isInconsistent(err) {
 				empty[d] = true
+			} else {
+				// Non-inconsistency build errors are deliberately NOT
+				// returned (or memoised) here: the serial path only
+				// surfaces them at the first pair that builds the disjunct
+				// — which a refutation at a lower pair index preempts —
+				// and the workers reproduce the error at exactly that
+				// schedule position, where the bound/assembly logic orders
+				// it against refutations just like serial.
+				continue
 			}
-			// Non-inconsistency build errors are deliberately NOT returned
-			// here: the serial path only surfaces them at the first pair
-			// that builds the disjunct — which a refutation at a lower
-			// pair index preempts — and the workers reproduce the error at
-			// exactly that schedule position, where the bound/assembly
-			// logic orders it against refutations just like serial.
+		}
+		if opts.Memo != nil {
+			opts.Memo.storeEmpty(disjunctKey(view.Disjuncts[d]), empty[d])
 		}
 	}
 
@@ -202,6 +219,21 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 				if task.kind == taskEmptyFirst || task.kind == taskEmptySecond {
 					continue // zero outcome: counts one pair, nothing else
 				}
+				if opts.txn != nil {
+					if e, hit := opts.txn.lookupPair(taskMemoKey(view, phi, task, opts), opts.WantCounterexample); hit {
+						outcomes[t] = taskOutcome{
+							memoHit:   true,
+							refuted:   e.refuted,
+							insts:     e.insts,
+							truncated: e.truncated,
+							cex:       e.cex,
+						}
+						if e.refuted {
+							bound.min(int64(t))
+						}
+						continue
+					}
+				}
 				if w == nil {
 					var err error
 					if w, err = newPairWorker(db); err != nil {
@@ -223,7 +255,9 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 	// Replay the serial accumulation over the outcomes: counters advance
 	// in schedule order and stop at the first refutation or error, exactly
 	// where the serial loop returns. Entries past the final bound are
-	// skipped and contribute nothing.
+	// skipped and contribute nothing. Memo stores also happen here, in
+	// schedule order over exactly the consumed entries, so the memo ends a
+	// parallel call with the same contents a serial call would leave.
 	res := &Result{Propagated: true}
 	for t := range outcomes {
 		o := &outcomes[t]
@@ -241,6 +275,9 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 		if o.truncated {
 			res.Truncated = true
 		}
+		if o.memoHit {
+			res.MemoHits++
+		}
 		if o.err != nil {
 			if r := stopReasonOf(o.err); r != StopNone {
 				// Stop mid-pair: the pair's partial counters stand.
@@ -248,6 +285,15 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 				return res, nil
 			}
 			return nil, o.err
+		}
+		if o.evaluated && opts.txn != nil {
+			res.MemoMisses++
+			opts.txn.storePair(taskMemoKey(view, phi, sched[t], opts), &memoPairEntry{
+				refuted:   o.refuted,
+				insts:     o.insts,
+				truncated: o.truncated,
+				cex:       o.cex,
+			})
 		}
 		if o.refuted {
 			res.Propagated = false
@@ -258,6 +304,14 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 		}
 	}
 	return res, nil
+}
+
+// taskMemoKey fingerprints a schedule entry for the memo.
+func taskMemoKey(view *algebra.SPCU, phi *cfd.CFD, task pairTask, opts Options) string {
+	if task.kind == taskEquality {
+		return equalityMemoKey(view.Disjuncts[task.i], phi, opts)
+	}
+	return pairMemoKey(view.Disjuncts[task.i], view.Disjuncts[task.j], phi, opts)
 }
 
 // safeRunEvalTask is runEvalTask behind the faultinject seam and a panic
@@ -274,18 +328,22 @@ func safeRunEvalTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN
 	return runEvalTask(w, db, view, sigmaN, phi, opts, task, taskIdx, bound, innerP)
 }
 
-// prepare builds the task's pair state in w and returns its evaluate
-// closure; ok is false when the premise is unrealizable (the task
+// prepare builds the task's pair state in w and returns its evaluation
+// bundle; ok is false when the premise is unrealizable (the task
 // propagates trivially). The construction sequence is identical on every
 // worker, so enumeration plans and counterexamples are reproducible.
-func prepareTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, task pairTask) (evaluate func() (bool, error), ok bool, err error) {
+func prepareTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, task pairTask) (ev *pairEval, ok bool, err error) {
 	w.reset()
 	if task.kind == taskEquality {
 		t, outcome, err := prepareEquality(w, db, view.Disjuncts[task.i])
 		if err != nil || outcome != prepOK {
 			return nil, false, err
 		}
-		return equalityEvaluate(w, sigmaN, t, phi.LHS[0].Attr, phi.RHS[0].Attr), true, nil
+		return &pairEval{
+			sigmaN:   sigmaN,
+			evaluate: equalityEvaluate(w, sigmaN, t, phi.LHS[0].Attr, phi.RHS[0].Attr),
+			verdict:  equalityVerdict(w, t, phi.LHS[0].Attr, phi.RHS[0].Attr),
+		}, true, nil
 	}
 	t1, t2, outcome, err := preparePair(w, db, view.Disjuncts[task.i], view.Disjuncts[task.j], phi)
 	if err != nil || outcome != prepOK {
@@ -293,13 +351,17 @@ func prepareTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*
 		// for disjuncts known non-empty. Unrealizable premises propagate.
 		return nil, false, err
 	}
-	return pairEvaluate(w, sigmaN, t1, t2, phi.RHS[0]), true, nil
+	return &pairEval{
+		sigmaN:   sigmaN,
+		evaluate: pairEvaluate(w, sigmaN, t1, t2, phi.RHS[0]),
+		verdict:  pairVerdict(w, t1, t2, phi.RHS[0]),
+	}, true, nil
 }
 
 // runEvalTask runs one taskPair/taskEquality entry, fanning the
 // general-setting enumeration across innerP sub-workers when profitable.
 func runEvalTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, task pairTask, taskIdx int, bound *atomicMin, innerP int) taskOutcome {
-	evaluate, ok, err := prepareTask(w, db, view, sigmaN, phi, task)
+	ev, ok, err := prepareTask(w, db, view, sigmaN, phi, task)
 	if err != nil {
 		return taskOutcome{err: err}
 	}
@@ -308,12 +370,12 @@ func runEvalTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*
 	}
 
 	if !opts.General {
-		ok, err := evaluate()
+		ok, err := ev.evaluate()
 		if err != nil {
 			return taskOutcome{err: err}
 		}
 		if ok {
-			return taskOutcome{}
+			return taskOutcome{evaluated: true}
 		}
 		return refutedOutcome(w, db, opts, 0)
 	}
@@ -323,12 +385,12 @@ func runEvalTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*
 		return taskOutcome{}
 	}
 	if len(plan.roots) == 0 {
-		ok, err := evaluate()
+		ok, err := ev.evaluate()
 		if err != nil {
 			return taskOutcome{err: err}
 		}
 		if ok {
-			return taskOutcome{insts: 1}
+			return taskOutcome{insts: 1, evaluated: true}
 		}
 		return refutedOutcome(w, db, opts, 1)
 	}
@@ -339,10 +401,16 @@ func runEvalTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*
 	if chunks > plan.limit/minChunk {
 		chunks = plan.limit / minChunk
 	}
+	var out taskOutcome
 	if chunks < 2 {
-		return scanSerial(w, db, opts, plan, evaluate, taskIdx, bound)
+		out = scanSerial(w, db, opts, plan, ev, taskIdx, bound)
+	} else {
+		out = scanParallel(w, ev, db, view, sigmaN, phi, opts, task, plan, taskIdx, bound, chunks)
 	}
-	return scanParallel(w, evaluate, db, view, sigmaN, phi, opts, task, plan, taskIdx, bound, chunks)
+	if !out.skipped {
+		out.evaluated = true
+	}
+	return out
 }
 
 // minChunk is the smallest instantiation range worth a dedicated
@@ -351,7 +419,7 @@ const minChunk = 8
 
 // refutedOutcome captures a refutation found in w's current state.
 func refutedOutcome(w *pairWorker, db *rel.DBSchema, opts Options, insts int) taskOutcome {
-	o := taskOutcome{refuted: true, insts: insts}
+	o := taskOutcome{refuted: true, insts: insts, evaluated: true}
 	if opts.WantCounterexample {
 		if witness, err := w.ci.Concrete(db, true); err == nil {
 			o.cex = witness
@@ -360,14 +428,14 @@ func refutedOutcome(w *pairWorker, db *rel.DBSchema, opts Options, insts int) ta
 	return o
 }
 
-// scanSerial enumerates the whole plan on one worker — scanChunk over the
-// full index range with an inert inner bound, so the two paths cannot
+// scanSerial enumerates the whole plan on one worker — one chunk scan over
+// the full index range with an inert inner bound, so the two paths cannot
 // drift apart. The outer bound still cancels the task when a lower
 // schedule index refutes.
-func scanSerial(w *pairWorker, db *rel.DBSchema, opts Options, plan enumPlan, evaluate func() (bool, error), taskIdx int, bound *atomicMin) taskOutcome {
+func scanSerial(w *pairWorker, db *rel.DBSchema, opts Options, plan enumPlan, ev *pairEval, taskIdx int, bound *atomicMin) taskOutcome {
 	var inner atomicMin
 	inner.store(int64(plan.limit))
-	r := scanChunk(w, db, opts, plan, evaluate, 0, plan.limit, taskIdx, bound, &inner)
+	r := chunkScanner(opts)(w, db, opts, plan, ev, 0, plan.limit, taskIdx, bound, &inner)
 	switch {
 	case r.aborted:
 		return taskOutcome{skipped: true}
@@ -396,7 +464,8 @@ type chunkResult struct {
 // above the lowest refutation found so far; indexes at or below the final
 // bound are never skipped, which keeps the applicable-assignment count and
 // the winning counterexample exact.
-func scanParallel(w *pairWorker, evaluate func() (bool, error), db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, task pairTask, plan enumPlan, taskIdx int, bound *atomicMin, chunks int) taskOutcome {
+func scanParallel(w *pairWorker, ev *pairEval, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, task pairTask, plan enumPlan, taskIdx int, bound *atomicMin, chunks int) taskOutcome {
+	scan := chunkScanner(opts)
 	results := make([]chunkResult, chunks)
 	var inner atomicMin
 	inner.store(int64(plan.limit))
@@ -422,7 +491,7 @@ func scanParallel(w *pairWorker, evaluate func() (bool, error), db *rel.DBSchema
 				return
 			}
 			cw.attach(opts)
-			evaluate, ok, err := prepareTask(cw, db, view, sigmaN, phi, task)
+			cev, ok, err := prepareTask(cw, db, view, sigmaN, phi, task)
 			if err != nil {
 				results[c] = chunkResult{stopIdx: chunkLo(plan.limit, chunks, c), stopErr: err}
 				inner.min(int64(results[c].stopIdx))
@@ -433,12 +502,12 @@ func scanParallel(w *pairWorker, evaluate func() (bool, error), db *rel.DBSchema
 				results[c] = chunkResult{stopIdx: -1}
 				return
 			}
-			results[c] = scanChunk(cw, db, opts, plan, evaluate, chunkLo(plan.limit, chunks, c), chunkLo(plan.limit, chunks, c+1), taskIdx, bound, &inner)
+			results[c] = scan(cw, db, opts, plan, cev, chunkLo(plan.limit, chunks, c), chunkLo(plan.limit, chunks, c+1), taskIdx, bound, &inner)
 		}(c)
 	}
 	// The owning worker takes the first chunk with its already-prepared
-	// state and evaluate closure — no rebuild.
-	results[0] = scanChunk(w, db, opts, plan, evaluate, 0, chunkLo(plan.limit, chunks, 1), taskIdx, bound, &inner)
+	// state and evaluation bundle — no rebuild.
+	results[0] = scan(w, db, opts, plan, ev, 0, chunkLo(plan.limit, chunks, 1), taskIdx, bound, &inner)
 	wg.Wait()
 
 	// Assemble: find the lowest stop event; applicable counts accumulate
@@ -481,8 +550,20 @@ func chunkLo(limit, chunks, c int) int {
 	return c * limit / chunks
 }
 
-// scanChunk scans assignment indexes [lo, hi) in ascending order.
-func scanChunk(w *pairWorker, db *rel.DBSchema, opts Options, plan enumPlan, evaluate func() (bool, error), lo, hi, taskIdx int, bound, inner *atomicMin) chunkResult {
+// chunkScanner picks the range-scan implementation: the factorised
+// shared-prefix scan by default, the full-rechase reference scan when the
+// differential oracle is requested.
+func chunkScanner(opts Options) func(*pairWorker, *rel.DBSchema, Options, enumPlan, *pairEval, int, int, int, *atomicMin, *atomicMin) chunkResult {
+	if opts.FullRechase {
+		return scanChunk
+	}
+	return scanFactorised
+}
+
+// scanChunk scans assignment indexes [lo, hi) in ascending order,
+// re-chasing the full pair per assignment — the reference implementation
+// scanFactorised is differentially tested against.
+func scanChunk(w *pairWorker, db *rel.DBSchema, opts Options, plan enumPlan, ev *pairEval, lo, hi, taskIdx int, bound, inner *atomicMin) chunkResult {
 	st := w.st
 	base := st.Save()
 	choice := make([]int, len(plan.roots))
@@ -519,7 +600,7 @@ func scanChunk(w *pairWorker, db *rel.DBSchema, opts Options, plan enumPlan, eva
 			continue
 		}
 		r.count++
-		ok, err := evaluate()
+		ok, err := ev.evaluate()
 		if err != nil {
 			r.stopIdx = idx
 			r.stopErr = err

@@ -18,6 +18,44 @@
 // appendix proofs. The enumeration is capped by MaxInstantiations; a hit
 // cap is reported through Result.Truncated rather than an error.
 //
+// # Factorised chase
+//
+// The default general-setting enumeration does not re-chase the whole
+// tableau pair per assignment. Instead the instantiation-independent
+// prefix — the chase of the pair with no finite-domain root bound — runs
+// once; each assignment then binds only the enumerated roots, resumes the
+// worklist from exactly the CFDs whose LHS touches a changed class (the
+// sym event journal seeds it), and rolls the suffix back through the sym
+// undo journal (Mark/Rewind) before the next assignment. Correctness
+// rests on three facts, each differentially tested against the
+// Options.FullRechase reference loop:
+//
+//   - Chase firings are monotone in the bound constants, so the prefix's
+//     firings are a subset of every assignment's and the per-assignment
+//     fixpoint (unique, by Church–Rosser) is reached identically.
+//   - A root bind that fails on the prefix-chased state corresponds
+//     exactly to an assignment whose full chase is undefined — vacuous in
+//     the ∀ — so whole subtrees of the mixed-radix enumeration are counted
+//     without being visited.
+//   - Counterexample instantiation assigns fresh constants in row/column
+//     encounter order, which the rollback preserves, so Counterexample
+//     bytes are identical to the reference path's.
+//
+// # Memoisation
+//
+// Options.Memo caches, across Check calls sharing one (schema, Σ, V):
+// per-pair verdicts (refuted/propagated, instantiation counts, truncation,
+// counterexamples — keyed by the two disjunct embeddings, φ, and the
+// option knobs that shape the outcome) and per-disjunct intrinsic
+// emptiness (keyed by the embedding alone — φ-independent, the main
+// cross-candidate win in core.PropCFDSPCU's union-candidate loop). Nothing
+// keyed on mutable state is cached: a Σ or view edit requires a fresh Memo
+// (the daemon ties one Memo to each compiled universe entry, so its Σ-edit
+// generation bump swaps in a fresh memo by construction). Replayed entries
+// reproduce the stored Result fields byte-for-byte, and stores are
+// buffered per call and flushed in schedule order, so hit/miss counters
+// are identical at every Parallelism.
+//
 // # Concurrency model
 //
 // Check is a pure function and safe to call concurrently. Internally it is
@@ -85,12 +123,30 @@ type Options struct {
 	// deterministic resource budget alongside the per-pair
 	// MaxInstantiations cap. Exhaustion surfaces as Result.Stopped =
 	// StopChaseBudget; with a fixed budget and Parallelism = 1 the partial
-	// Result is fully deterministic.
+	// Result is fully deterministic. Note the factorised enumeration (the
+	// default general-setting path) consumes far fewer steps than the
+	// FullRechase reference path, so a fixed budget stops the two at
+	// different points.
 	MaxChaseSteps int64
+	// FullRechase forces the pre-factorisation general-setting
+	// enumeration: every assignment re-chases the whole tableau pair from
+	// a pre-chase snapshot instead of extending a shared chased prefix.
+	// It is the differential oracle the factorised path is tested against
+	// (the SkipPreMinCover precedent); Results are byte-identical either
+	// way, only speed and chase-step consumption differ.
+	FullRechase bool
+	// Memo, when non-nil, caches pair outcomes, counterexamples and
+	// disjunct emptiness across Check calls sharing one (schema, Σ, V)
+	// scope — see the Memo type for the invalidation contract. Hits
+	// replay the exact serial-equivalent counters; Result.MemoHits and
+	// Result.MemoMisses report the traffic.
+	Memo *Memo
 
 	// sp carries the call's stop controls through the internal pair loops;
 	// set by Check, never by callers.
 	sp *stopper
+	// txn is the call's buffered view of Memo; set by Check.
+	txn *memoTxn
 }
 
 // DefaultMaxInstantiations caps finite-domain enumeration.
@@ -121,6 +177,11 @@ type Result struct {
 	// finished before the stop, and for a fixed stop point (e.g. a fixed
 	// MaxChaseSteps at Parallelism 1) the partial Result is deterministic.
 	Stopped StopReason
+	// MemoHits and MemoMisses count pair checks served from Options.Memo
+	// vs evaluated fresh (and then stored). Both stay zero without a
+	// memo. Misses count only pair checks that completed an evaluation —
+	// empty or unrealizable pairs and stopped checks are neither.
+	MemoHits, MemoMisses int
 }
 
 // ErrFiniteDomains is returned when the infinite-domain procedure is asked
@@ -167,6 +228,12 @@ func Check(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.CFD,
 	}
 
 	total := &Result{Propagated: true}
+	if opts.Memo != nil {
+		opts.txn = opts.Memo.begin()
+		// Commit on every exit: entries computed before an error or stop
+		// are complete, valid outcomes worth keeping.
+		defer func() { opts.txn.commit(total.MemoHits, total.MemoMisses) }()
+	}
 	for _, p := range phi.Normalize() {
 		var r *Result
 		var err error
@@ -181,6 +248,8 @@ func Check(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.CFD,
 		total.PairsChecked += r.PairsChecked
 		total.Instantiations += r.Instantiations
 		total.Truncated = total.Truncated || r.Truncated
+		total.MemoHits += r.MemoHits
+		total.MemoMisses += r.MemoMisses
 		if !r.Propagated {
 			total.Propagated = false
 			total.Counterexample = r.Counterexample
@@ -276,6 +345,41 @@ func preparePair(w *pairWorker, db *rel.DBSchema, e1, e2 *algebra.SPC, phi *cfd.
 		}
 	}
 	return t1, t2, prepOK, nil
+}
+
+// pairEval bundles the two per-instantiation tests of a prepared pair:
+// evaluate chases from scratch and compares (the full-rechase reference
+// path and the infinite-domain setting); verdict only compares, for use on
+// a state the factorised path has already chased.
+type pairEval struct {
+	sigmaN   []*cfd.CFD
+	evaluate func() (bool, error)
+	verdict  func() bool
+}
+
+// pairVerdict returns the summary comparison of a prepared pair, to be
+// called on an already-chased state. It duplicates the tail of
+// pairEvaluate on purpose: evaluate is the reference the factorised path
+// is differentially tested against, so they must not share code.
+func pairVerdict(w *pairWorker, t1, t2 *tableau.Tableau, rhs cfd.Item) func() bool {
+	st := w.st
+	return func() bool {
+		a1 := st.Resolve(t1.Summary[rhs.Attr])
+		a2 := st.Resolve(t2.Summary[rhs.Attr])
+		if !st.SameTerm(a1, a2) {
+			return false
+		}
+		if rhs.Pat.Wildcard {
+			return true
+		}
+		return !a1.IsVar && a1.Const == rhs.Pat.Const
+	}
+}
+
+// equalityVerdict is pairVerdict's counterpart for equality CFDs.
+func equalityVerdict(w *pairWorker, t *tableau.Tableau, a, b string) func() bool {
+	st := w.st
+	return func() bool { return st.SameTerm(t.Summary[a], t.Summary[b]) }
 }
 
 // pairEvaluate returns the per-instantiation test for a prepared pair:
@@ -411,41 +515,113 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 	return res, nil
 }
 
+// replayPair folds a memoised pair outcome into res, exactly as the fresh
+// evaluation would have.
+func replayPair(e *memoPairEntry, opts Options, res *Result) (ok bool) {
+	res.MemoHits++
+	res.Instantiations += e.insts
+	if e.truncated {
+		res.Truncated = true
+	}
+	if e.refuted {
+		if opts.WantCounterexample {
+			res.Counterexample = e.cex
+		}
+		return false
+	}
+	return true
+}
+
+// evaluatePair runs a prepared pair's setting loop into a fresh sub-result
+// (so the pair's own contribution is known exactly), merges it into res,
+// and — when the pair completed — stores it in the memo transaction and
+// counts the miss.
+func evaluatePair(w *pairWorker, db *rel.DBSchema, opts Options, res *Result, ev *pairEval, key string) (bool, error) {
+	sub := &Result{}
+	ok, _, err := runSetting(w.ci, db, opts, sub, ev)
+	res.Instantiations += sub.Instantiations
+	res.Truncated = res.Truncated || sub.Truncated
+	if !ok && sub.Counterexample != nil {
+		res.Counterexample = sub.Counterexample
+	}
+	if err == nil && opts.txn != nil {
+		res.MemoMisses++
+		opts.txn.storePair(key, &memoPairEntry{
+			refuted:   !ok,
+			insts:     sub.Instantiations,
+			truncated: sub.Truncated,
+			cex:       sub.Counterexample,
+		})
+	}
+	return ok, err
+}
+
 // pairCheck tests one disjunct pair. markEmpty reports that the first (1)
 // or second (2) disjunct is unconditionally empty.
 func pairCheck(w *pairWorker, db *rel.DBSchema, e1, e2 *algebra.SPC, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (ok bool, markEmpty int, err error) {
 	res.PairsChecked++
+	key := ""
+	if opts.txn != nil {
+		key = pairMemoKey(e1, e2, phi, opts)
+		if e, hit := opts.txn.lookupPair(key, opts.WantCounterexample); hit {
+			return replayPair(e, opts, res), 0, nil
+		}
+	}
 	w.reset()
 	t1, t2, outcome, err := preparePair(w, db, e1, e2, phi)
 	switch {
 	case err != nil:
 		return false, 0, err
 	case outcome == prepEmptyFirst:
+		if opts.Memo != nil {
+			opts.Memo.storeEmpty(disjunctKey(e1), true)
+		}
 		return true, 1, nil
 	case outcome == prepEmptySecond:
+		if opts.Memo != nil {
+			opts.Memo.storeEmpty(disjunctKey(e2), true)
+		}
 		return true, 2, nil
 	case outcome == prepUnrealizable:
 		return true, 0, nil
 	}
-	evaluate := pairEvaluate(w, sigmaN, t1, t2, phi.RHS[0])
-	return runSetting(w.ci, db, opts, res, evaluate)
+	ev := &pairEval{
+		sigmaN:   sigmaN,
+		evaluate: pairEvaluate(w, sigmaN, t1, t2, phi.RHS[0]),
+		verdict:  pairVerdict(w, t1, t2, phi.RHS[0]),
+	}
+	ok, err = evaluatePair(w, db, opts, res, ev, key)
+	return ok, 0, err
 }
 
 // equalityCheck tests a special-form view CFD V(A → B, (x ‖ x)) against a
 // single disjunct.
 func equalityCheck(w *pairWorker, db *rel.DBSchema, e *algebra.SPC, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (bool, error) {
 	res.PairsChecked++
+	key := ""
+	if opts.txn != nil {
+		key = equalityMemoKey(e, phi, opts)
+		if me, hit := opts.txn.lookupPair(key, opts.WantCounterexample); hit {
+			return replayPair(me, opts, res), nil
+		}
+	}
 	w.reset()
 	t, outcome, err := prepareEquality(w, db, e)
 	if err != nil {
 		return false, err
 	}
 	if outcome == prepEmptyFirst {
+		if opts.Memo != nil {
+			opts.Memo.storeEmpty(disjunctKey(e), true)
+		}
 		return true, nil
 	}
-	evaluate := equalityEvaluate(w, sigmaN, t, phi.LHS[0].Attr, phi.RHS[0].Attr)
-	ok, _, err := runSetting(w.ci, db, opts, res, evaluate)
-	return ok, err
+	ev := &pairEval{
+		sigmaN:   sigmaN,
+		evaluate: equalityEvaluate(w, sigmaN, t, phi.LHS[0].Attr, phi.RHS[0].Attr),
+		verdict:  equalityVerdict(w, t, phi.LHS[0].Attr, phi.RHS[0].Attr),
+	}
+	return evaluatePair(w, db, opts, res, ev, key)
 }
 
 // enumPlan describes a pair's finite-domain enumeration: the unbound
@@ -498,14 +674,18 @@ func (p *enumPlan) decode(idx int, choice []int) {
 	}
 }
 
-// runSetting runs evaluate once (infinite-domain) or per finite-domain
-// instantiation (general setting), extracting a counterexample on failure.
-// Its enumeration loop deliberately does NOT share code with the parallel
-// path's scanChunk: this is the serial reference implementation the
-// determinism tests compare the parallel results against, and an
-// independent copy is what lets those tests catch a bug in either one.
-func runSetting(ci *chase.Inst, db *rel.DBSchema, opts Options, res *Result, evaluate func() (bool, error)) (bool, int, error) {
+// runSetting runs the pair's evaluation once (infinite-domain) or per
+// finite-domain instantiation (general setting), extracting a
+// counterexample on failure. The general-setting enumeration defaults to
+// the factorised path (runFactorised); Options.FullRechase selects the
+// historical re-chase-per-assignment loop below, kept verbatim as the
+// differential oracle. That loop deliberately does NOT share code with the
+// parallel path's scanChunk: it is the serial reference implementation the
+// determinism tests compare every other path against, and an independent
+// copy is what lets those tests catch a bug in either one.
+func runSetting(ci *chase.Inst, db *rel.DBSchema, opts Options, res *Result, ev *pairEval) (bool, int, error) {
 	st := ci.St
+	evaluate := ev.evaluate
 	fail := func() (bool, int, error) {
 		if opts.WantCounterexample {
 			// In the general setting every finite-domain variable was bound
@@ -543,6 +723,9 @@ func runSetting(ci *chase.Inst, db *rel.DBSchema, opts Options, res *Result, eva
 			return true, 0, nil
 		}
 		return fail()
+	}
+	if !opts.FullRechase {
+		return runFactorised(ci, db, opts, res, ev, plan)
 	}
 	base := st.Save()
 	choice := make([]int, len(plan.roots))

@@ -51,6 +51,24 @@ type State struct {
 
 	trackEvents bool
 	events      []Event
+
+	// Incremental rollback (BeginUndo/Mark/Rewind): while trackUndo is on,
+	// every state-changing Bind/Equate appends an inverse operation, and
+	// find() stops path-compressing — a compressed parent pointer is a
+	// mutation the undo log does not record, so rewinding would leave
+	// variables pointing across a dissolved union.
+	trackUndo bool
+	undo      []undoOp
+}
+
+// undoOp is the inverse of one Bind or Equate. For a bind, merged is -1 and
+// root identifies the class to unbind. For a union, merged is the absorbed
+// class root: rewinding restores parent[merged] = merged and root's
+// pre-union rank and domain.
+type undoOp struct {
+	root, merged int
+	rank         int
+	domain       rel.Domain
 }
 
 // Event records one state change for incremental (worklist) chase
@@ -103,7 +121,7 @@ func (s *State) ClearEvents() { s.events = s.events[:0] }
 
 // Reset empties the state for reuse, keeping allocated capacity (and the
 // event-tracking flag) so pooled chase sessions avoid reallocating per
-// query. The conflict flag and journal are cleared.
+// query. The conflict flag, the journal and any undo tracking are cleared.
 func (s *State) Reset() {
 	s.parent = s.parent[:0]
 	s.rank = s.rank[:0]
@@ -113,10 +131,20 @@ func (s *State) Reset() {
 	s.conflict = nil
 	s.version = 0
 	s.events = s.events[:0]
+	s.trackUndo = false
+	s.undo = s.undo[:0]
 }
 
 // find returns the root of the variable's class with path compression.
+// Compression is suspended while undo tracking is on: parent rewrites are
+// not journaled, so they must not happen between a Mark and its Rewind.
 func (s *State) find(v int) int {
+	if s.trackUndo {
+		for s.parent[v] != v {
+			v = s.parent[v]
+		}
+		return v
+	}
 	for s.parent[v] != v {
 		s.parent[v] = s.parent[s.parent[v]]
 		v = s.parent[v]
@@ -188,6 +216,9 @@ func (s *State) Bind(t Term, c string) error {
 	s.bound[r] = true
 	s.value[r] = c
 	s.version++
+	if s.trackUndo {
+		s.undo = append(s.undo, undoOp{root: r, merged: -1})
+	}
 	if s.trackEvents {
 		s.events = append(s.events, Event{Root: r, Merged: -1})
 	}
@@ -220,6 +251,9 @@ func (s *State) Equate(a, b Term) error {
 	// union by rank
 	if s.rank[x] < s.rank[y] {
 		x, y = y, x
+	}
+	if s.trackUndo {
+		s.undo = append(s.undo, undoOp{root: x, merged: y, rank: s.rank[x], domain: s.domain[x]})
 	}
 	s.parent[y] = x
 	if s.rank[x] == s.rank[y] {
@@ -281,7 +315,8 @@ func (s *State) Save() *Snapshot {
 }
 
 // Restore rewinds the state to a snapshot taken from the same State. The
-// conflict flag is cleared.
+// conflict flag is cleared, and any undo log is dropped (Marks taken
+// before a Restore are invalid).
 func (s *State) Restore(sn *Snapshot) {
 	s.parent = append(s.parent[:0], sn.parent...)
 	s.rank = append(s.rank[:0], sn.rank...)
@@ -291,6 +326,72 @@ func (s *State) Restore(sn *Snapshot) {
 	s.version = sn.version
 	s.conflict = nil
 	s.events = s.events[:0]
+	s.undo = s.undo[:0]
+}
+
+// Mark is a cheap rewind point taken while undo tracking is on (see
+// BeginUndo). Unlike Snapshot it captures nothing: Rewind replays the undo
+// log recorded since the mark, so taking one is O(1) and rewinding is
+// proportional to the changes made, not to the number of variables.
+type Mark struct {
+	undo, events, vars, version int
+}
+
+// BeginUndo turns on incremental undo journaling: subsequent Binds and
+// Equates record inverse operations so the state can be rewound to any
+// Mark taken after this call. While tracking is on, find() suspends path
+// compression (uncompressed lookups stay O(log n) under union by rank; the
+// speculative chases this serves are short). Call EndUndo when the state's
+// current content is final.
+func (s *State) BeginUndo() {
+	s.trackUndo = true
+	s.undo = s.undo[:0]
+}
+
+// EndUndo turns off undo journaling and drops the log. Marks taken before
+// this call must not be rewound afterwards.
+func (s *State) EndUndo() {
+	s.trackUndo = false
+	s.undo = s.undo[:0]
+}
+
+// UndoActive reports whether BeginUndo journaling is on.
+func (s *State) UndoActive() bool { return s.trackUndo }
+
+// MarkNow records the current state as a rewind point. Only valid while
+// undo tracking is on.
+func (s *State) MarkNow() Mark {
+	return Mark{undo: len(s.undo), events: len(s.events), vars: len(s.parent), version: s.version}
+}
+
+// Rewind rolls the state back to a mark taken (after BeginUndo) on this
+// State: binds and unions recorded since are inverted in reverse order,
+// variables allocated since are dropped, the event journal is truncated to
+// its length at the mark, and the conflict flag is cleared — rewinding past
+// a failed Bind/Equate restores a usable state.
+func (s *State) Rewind(m Mark) {
+	for i := len(s.undo) - 1; i >= m.undo; i-- {
+		op := s.undo[i]
+		if op.merged < 0 {
+			s.bound[op.root] = false
+			s.value[op.root] = ""
+			continue
+		}
+		s.parent[op.merged] = op.merged
+		s.rank[op.root] = op.rank
+		s.domain[op.root] = op.domain
+	}
+	s.undo = s.undo[:m.undo]
+	if m.events <= len(s.events) {
+		s.events = s.events[:m.events]
+	}
+	s.parent = s.parent[:m.vars]
+	s.rank = s.rank[:m.vars]
+	s.bound = s.bound[:m.vars]
+	s.value = s.value[:m.vars]
+	s.domain = s.domain[:m.vars]
+	s.version = m.version
+	s.conflict = nil
 }
 
 // FreshConstant returns a constant string guaranteed (by construction of
