@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	benchfig [-exp all|fig5|fig6|fig7|fig8|table1|table2|blowup|parallel|factorised]
-//	         [-trials N] [-seed S] [-sigma N] [-quick] [-parallel N] [-json]
+//	benchfig [-exp all|fig5|fig6|fig7|fig8|table1|table2|blowup|parallel|factorised|stream]
+//	         [-trials N] [-seed S] [-sigma N] [-rows N] [-quick] [-parallel N] [-json]
 //
 // -json replaces the text tables with one machine-readable report whose
 // "host" stamp records the run date, Go version, GOMAXPROCS and CPU count
@@ -17,6 +17,13 @@
 // GOMAXPROCS workers) for the §3 decision procedure on a multi-pair union
 // view and a general-setting instantiation sweep; -parallel additionally
 // sets the worker count the other experiments hand to PropCFD_SPC.
+//
+// The stream experiment (not part of -exp all: it writes a -rows-row
+// synthetic CSV, 10M by default, to the temp directory) proves the
+// bounded-memory streaming detector: it cross-checks internal/stream
+// against the in-memory oracle on a small sibling file, then times the
+// full file across the worker grid while a heap sampler asserts the fixed
+// memory budget.
 //
 // With -quick the sweeps run on reduced grids (useful for smoke tests);
 // otherwise the paper's full parameter grids are used: |Σ| ∈ 200..2000,
@@ -33,9 +40,14 @@ import (
 	"cfdprop/internal/cliutil"
 )
 
+// defaultStreamRows sizes the stream experiment's synthetic file: 10M
+// tuples, the scale the streaming detector's memory model is proved at.
+const defaultStreamRows = 10_000_000
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, table2, blowup, parallel, factorised")
+	exp := flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, table2, blowup, parallel, factorised, stream")
 	trials := flag.Int("trials", 3, "random workloads per data point")
+	rows := flag.Int("rows", defaultStreamRows, "synthetic row count for the stream experiment")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	sigma := flag.Int("sigma", 2000, "|Sigma| for the figure sweeps that fix it")
 	quick := flag.Bool("quick", false, "reduced grids for a fast smoke run")
@@ -143,6 +155,20 @@ func main() {
 				report.Factorised = cases
 			} else {
 				bench.PrintFactorised(os.Stdout, cases)
+			}
+		case "stream":
+			n := *rows
+			if *quick && n == defaultStreamRows {
+				n = 200_000
+			}
+			cs, err := bench.StreamScaling(cfg, n, bench.DefaultParallelWorkers())
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				report.Stream = cs
+			} else {
+				bench.PrintStream(os.Stdout, cs)
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

@@ -4,10 +4,27 @@
 //
 // Usage:
 //
-//	cfdcheck -data customers.csv -cfds rules.txt [-relation R] [-all] [-parallel N] [-timeout D]
+//	cfdcheck -data customers.csv -cfds rules.txt [-relation R] [-all]
+//	         [-stream auto|on|off] [-max-groups N] [-parallel N] [-timeout D]
 //
-// Rules are validated independently, so -parallel fans them across N
-// workers (0 = GOMAXPROCS); the report order stays the rule-file order.
+// Two execution modes share one output format and one verdict:
+//
+//   - The in-memory mode loads the whole CSV into a rel.Instance and fans
+//     the rules across -parallel workers rule-by-rule.
+//   - The streaming mode (internal/stream) scans the file in chunks and
+//     keeps only one constant-size witness per tuple group, so memory is
+//     O(distinct groups), not O(rows); -parallel shards the groups across
+//     workers, and -max-groups caps the witnesses retained per rule before
+//     that rule falls back to a multipass scan of the file.
+//
+// -stream picks the mode: "on", "off", or "auto" (the default), which
+// streams when the data file is 64 MiB or larger. Results are identical in
+// both modes and at every -parallel value.
+//
+// Violations are reported with authoritative 1-based file line numbers —
+// the header row is line 1, and quoted multi-line fields are accounted
+// for — so the printed numbers match the file a user opens in an editor.
+//
 // -timeout bounds the whole run's wall-clock time (e.g. "30s"); hitting it
 // exits with status 3.
 //
@@ -26,7 +43,6 @@ package main
 import (
 	"bufio"
 	"context"
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
@@ -38,7 +54,12 @@ import (
 	"cfdprop/internal/cliutil"
 	"cfdprop/internal/parutil"
 	"cfdprop/internal/rel"
+	"cfdprop/internal/stream"
 )
+
+// streamThreshold is the -stream auto cutover: files at least this large
+// are checked by the streaming detector instead of being materialized.
+const streamThreshold = 64 << 20
 
 func main() {
 	// Backstop: library panics (which the audit says should not reach user
@@ -54,6 +75,8 @@ func main() {
 	cfdsPath := flag.String("cfds", "", "file with one CFD per line")
 	relation := flag.String("relation", "R", "relation name the CFDs are defined on")
 	all := flag.Bool("all", false, "report every violation, not only the first per CFD")
+	streamMode := flag.String("stream", "auto", "streaming detector: on, off, or auto (stream files >= 64 MiB)")
+	maxGroups := flag.Int("max-groups", 1<<20, "streaming group budget per rule before the multipass fallback (negative = unbounded)")
 	common := cliutil.RegisterCommon(flag.CommandLine, "rule validation")
 	flag.Parse()
 
@@ -61,66 +84,134 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cfdcheck: -data and -cfds are required")
 		os.Exit(cliutil.ExitUsage)
 	}
+	useStream, err := resolveStreamMode(*streamMode, *dataPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfdcheck: %v\n", err)
+		os.Exit(cliutil.ExitUsage)
+	}
 
 	ctx, cancel := common.Context()
 	defer cancel()
 
-	in, err := loadCSV(*dataPath, *relation)
-	if err != nil {
-		fatal(err)
-	}
 	rules, err := loadCFDs(*cfdsPath)
 	if err != nil {
 		fatal(err)
 	}
 
-	results, err := checkRules(ctx, in, rules, common.Parallel)
-	if err != nil {
-		cliutil.FatalStopped("cfdcheck", ctx, err)
+	var (
+		outcomes []ruleResult
+		rows     int
+	)
+	if useStream {
+		retain := 1
+		if *all {
+			retain = 0 // keep everything
+		}
+		rep, err := stream.CheckFile(*dataPath, rules, stream.Options{
+			Context:       ctx,
+			Relation:      *relation,
+			Parallel:      common.Parallel,
+			MaxGroups:     *maxGroups,
+			MaxViolations: retain,
+		})
+		if err != nil {
+			cliutil.FatalStopped("cfdcheck", ctx, err)
+		}
+		rows = rep.Rows
+		outcomes = make([]ruleResult, len(rules))
+		for i := range rep.Rules {
+			outcomes[i] = ruleResult{
+				violations: rep.Rules[i].Violations,
+				count:      rep.Rules[i].Count,
+				err:        rep.Rules[i].Err,
+			}
+		}
+	} else {
+		in, err := loadCSV(*dataPath, *relation)
+		if err != nil {
+			fatal(err)
+		}
+		outcomes, err = checkRules(ctx, in, rules, common.Parallel)
+		if err != nil {
+			cliutil.FatalStopped("cfdcheck", ctx, err)
+		}
+		rows = in.Len()
 	}
+
 	// Errors (bad rule vs schema) surface before any per-rule output, in
-	// rule order, so serial and parallel runs report identically.
+	// rule order, so serial, parallel, and streaming runs report identically.
 	for i := range rules {
-		if results[i].err != nil {
-			fatal(results[i].err)
+		if outcomes[i].err != nil {
+			fatal(outcomes[i].err)
 		}
 	}
+	bad := printReport(os.Stdout, rules, outcomes, rows, *all)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// printReport writes the per-rule verdicts and the summary line, returning
+// the number of violated rules. Violations are reported with their
+// authoritative 1-based file line numbers (Line1/Line2), never row
+// ordinals: the header row is line 1, so the first data row is line 2, and
+// quoted multi-line fields shift later rows by the newlines they contain.
+func printReport(w io.Writer, rules []*cfd.CFD, outcomes []ruleResult, rows int, all bool) int {
 	bad := 0
 	for i, c := range rules {
-		vs := results[i].violations
-		if len(vs) == 0 {
-			fmt.Printf("ok    %s\n", c)
+		o := outcomes[i]
+		if o.count == 0 {
+			fmt.Fprintf(w, "ok    %s\n", c)
 			continue
 		}
 		bad++
-		fmt.Printf("FAIL  %s: %d violation(s)\n", c, len(vs))
+		fmt.Fprintf(w, "FAIL  %s: %d violation(s)\n", c, o.count)
 		limit := 1
-		if *all {
-			limit = len(vs)
+		if all {
+			limit = len(o.violations)
 		}
-		for i := 0; i < limit; i++ {
-			v := vs[i]
-			fmt.Printf("      rows %d and %d: %s\n", v.T1+1, v.T2+1, v.Reason)
+		for k := 0; k < limit && k < len(o.violations); k++ {
+			v := o.violations[k]
+			fmt.Fprintf(w, "      lines %d and %d: %s\n", v.Line1, v.Line2, v.Reason)
 		}
 	}
 	if bad > 0 {
-		fmt.Printf("%d of %d CFDs violated\n", bad, len(rules))
-		os.Exit(1)
+		fmt.Fprintf(w, "%d of %d CFDs violated\n", bad, len(rules))
+	} else {
+		fmt.Fprintf(w, "all %d CFDs satisfied over %d tuples\n", len(rules), rows)
 	}
-	fmt.Printf("all %d CFDs satisfied over %d tuples\n", len(rules), in.Len())
+	return bad
+}
+
+// resolveStreamMode maps the -stream flag to a mode, statting the data
+// file for "auto".
+func resolveStreamMode(mode, dataPath string) (bool, error) {
+	switch mode {
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	case "auto":
+		fi, err := os.Stat(dataPath)
+		return err == nil && fi.Size() >= streamThreshold, nil
+	default:
+		return false, fmt.Errorf("-stream must be on, off, or auto (got %q)", mode)
+	}
 }
 
 type ruleResult struct {
 	violations []cfd.Violation
+	count      int // exact violation total, even when violations retains fewer
 	err        error
 }
 
 // checkRules validates every rule against the instance, fanning the rules
 // across workers CFD-by-CFD (Violations only reads the instance). Results
-// come back indexed by rule, so the report order is deterministic. The
-// serial path keeps the historical fail-fast behavior: a schema error on
-// rule i means rules after i are never evaluated. A non-nil error means
-// the run stopped early (timeout) and the results are incomplete.
+// come back indexed by rule, so the report order is deterministic. Every
+// rule is evaluated regardless of errors on other rules — the serial and
+// parallel paths produce identical result slices, which
+// TestCheckRulesParallelMatchesSerial asserts. A non-nil error means the
+// run stopped early (timeout) and the results are incomplete.
 func checkRules(ctx context.Context, in *rel.Instance, rules []*cfd.CFD, parallel int) ([]ruleResult, error) {
 	if parallel == 0 {
 		parallel = runtime.GOMAXPROCS(0)
@@ -135,14 +226,13 @@ func checkRules(ctx context.Context, in *rel.Instance, rules []*cfd.CFD, paralle
 			default:
 			}
 			results[i].violations, results[i].err = cfd.Violations(in, rules[i])
-			if results[i].err != nil {
-				break
-			}
+			results[i].count = len(results[i].violations)
 		}
 		return results, nil
 	}
 	if err := parutil.DoCtx(ctx, len(rules), parallel, func(i int) {
 		results[i].violations, results[i].err = cfd.Violations(in, rules[i])
+		results[i].count = len(results[i].violations)
 	}); err != nil {
 		return nil, err
 	}
@@ -158,34 +248,13 @@ func loadCSV(path, relation string) (*rel.Instance, error) {
 	return readCSV(f, path, relation)
 }
 
-// readCSV builds an instance from CSV input: header row as attribute
-// names, every value in the infinite domain. Split from loadCSV so the
-// fuzz target can drive it without a file.
+// readCSV builds an instance from CSV input by delegating to the streaming
+// package's provenance-tracking loader: header row as attribute names,
+// every value in the infinite domain, each tuple carrying its authoritative
+// 1-based file line so violations print real line numbers. Split from
+// loadCSV so the fuzz target can drive it without a file.
 func readCSV(src io.Reader, name, relation string) (*rel.Instance, error) {
-	r := csv.NewReader(src)
-	r.TrimLeadingSpace = true
-	rows, err := r.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
-	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("%s: missing header row", name)
-	}
-	attrs := make([]rel.Attribute, len(rows[0]))
-	for i, n := range rows[0] {
-		attrs[i] = rel.Attribute{Name: strings.TrimSpace(n), Domain: rel.Infinite()}
-	}
-	schema, err := rel.NewSchema(relation, attrs...)
-	if err != nil {
-		return nil, err
-	}
-	in := rel.NewInstance(schema)
-	for i, row := range rows[1:] {
-		if err := in.Insert(rel.Tuple(row)); err != nil {
-			return nil, fmt.Errorf("%s row %d: %w", name, i+2, err)
-		}
-	}
-	return in, nil
+	return stream.LoadInstance(src, name, relation)
 }
 
 func loadCFDs(path string) ([]*cfd.CFD, error) {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"cfdprop/internal/cfd"
+	"cfdprop/internal/stream"
 )
 
 func TestLoadCSV(t *testing.T) {
@@ -141,7 +142,11 @@ func TestCheckRulesTimeout(t *testing.T) {
 }
 
 // TestCheckRulesParallelMatchesSerial: the fan-out reports the same
-// verdicts in the same order as the serial path.
+// verdicts in the same order as the serial path — including when a rule in
+// the middle carries a schema error. The serial path historically broke out
+// of the loop on the first error, leaving later rules unevaluated and
+// making -parallel 1 report differently from -parallel N; both paths now
+// evaluate every rule.
 func TestCheckRulesParallelMatchesSerial(t *testing.T) {
 	in, err := loadCSV(filepath.Join("testdata", "customers.csv"), "R")
 	if err != nil {
@@ -151,18 +156,125 @@ func TestCheckRulesParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Splice a schema-error rule in front: under the old fail-fast serial
+	// loop every later rule would come back empty.
+	rules = append([]*cfd.CFD{cfd.MustParse("R([nosuch] -> [city])")}, rules...)
 	ctx := context.Background()
 	ref, err := checkRules(ctx, in, rules, 1)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if ref[0].err == nil {
+		t.Fatal("schema-error rule did not error")
+	}
+	evaluated := 0
+	for i := 1; i < len(rules); i++ {
+		if ref[i].err == nil && ref[i].count >= 0 {
+			evaluated++
+		}
+	}
+	if evaluated != len(rules)-1 {
+		t.Fatalf("serial path evaluated %d of %d rules after the schema error", evaluated, len(rules)-1)
+	}
+	if ref[len(rules)-1].count == 0 {
+		t.Fatal("serial path left the last rule (AC -> city, violated) unevaluated after the schema error")
 	}
 	got, err := checkRules(ctx, in, rules, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range rules {
-		if len(got[i].violations) != len(ref[i].violations) || (got[i].err == nil) != (ref[i].err == nil) {
+		if len(got[i].violations) != len(ref[i].violations) || got[i].count != ref[i].count || (got[i].err == nil) != (ref[i].err == nil) {
 			t.Errorf("rule %d: parallel diverged from serial", i)
 		}
+	}
+}
+
+// TestReportLineNumbers is the headline-bugfix golden test: the printed
+// violation locations are authoritative 1-based CSV file lines, not
+// data-row ordinals. In testdata/customers.csv the zip=07974 tuples sit on
+// file lines 5 and 6 (header is line 1) and the AC=131 tuples on lines 4
+// and 7; the old output printed "rows 4 and 5" / "rows 3 and 6".
+func TestReportLineNumbers(t *testing.T) {
+	rules, err := loadCFDs(filepath.Join("testdata", "rules.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := loadCSV(filepath.Join("testdata", "customers.csv"), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := checkRules(context.Background(), in, rules, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	bad := printReport(&buf, rules, outcomes, in.Len(), true)
+	out := buf.String()
+	if bad != 2 {
+		t.Fatalf("want 2 violated rules, got %d\n%s", bad, out)
+	}
+	for _, want := range []string{
+		"lines 5 and 6: ", // zip -> street: Tree Ave. vs Elm Str.
+		"lines 4 and 7: ", // AC -> city: EDI vs NYC
+		"2 of 6 CFDs violated",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+	for _, stale := range []string{"rows ", "lines 4 and 5", "lines 3 and 6"} {
+		if strings.Contains(out, stale) {
+			t.Errorf("report still prints ordinal-derived locations (%q):\n%s", stale, out)
+		}
+	}
+}
+
+// TestReportStreamMatchesInMemory: both execution modes print byte-identical
+// reports over the same input.
+func TestReportStreamMatchesInMemory(t *testing.T) {
+	rules, err := loadCFDs(filepath.Join("testdata", "rules.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := loadCSV(filepath.Join("testdata", "customers.csv"), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := checkRules(context.Background(), in, rules, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := stream.CheckFile(filepath.Join("testdata", "customers.csv"), rules, stream.Options{Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := make([]ruleResult, len(rules))
+	for i := range rep.Rules {
+		str[i] = ruleResult{violations: rep.Rules[i].Violations, count: rep.Rules[i].Count, err: rep.Rules[i].Err}
+	}
+	for _, all := range []bool{false, true} {
+		var memBuf, strBuf strings.Builder
+		printReport(&memBuf, rules, mem, in.Len(), all)
+		printReport(&strBuf, rules, str, rep.Rows, all)
+		if memBuf.String() != strBuf.String() {
+			t.Errorf("all=%v: stream report diverges from in-memory:\n--- in-memory\n%s--- stream\n%s", all, memBuf.String(), strBuf.String())
+		}
+	}
+}
+
+func TestResolveStreamMode(t *testing.T) {
+	small := filepath.Join("testdata", "customers.csv")
+	for _, tc := range []struct {
+		mode string
+		want bool
+	}{{"on", true}, {"off", false}, {"auto", false}} {
+		got, err := resolveStreamMode(tc.mode, small)
+		if err != nil || got != tc.want {
+			t.Errorf("resolveStreamMode(%q) = %v, %v; want %v", tc.mode, got, err, tc.want)
+		}
+	}
+	if _, err := resolveStreamMode("maybe", small); err == nil {
+		t.Error("bad -stream value must be a usage error")
 	}
 }

@@ -67,11 +67,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Tuples carry their 1-based source line (as if loaded from a CSV whose
+	// header is line 1), so a violation names lines an editor can open.
 	data := rel.NewInstance(vs)
-	data.MustInsert("20", "Mike", "Portland", "London", "W1B 1JL")
-	data.MustInsert("20", "Rick", "Portland", "London", "W1B 1JL")
-	data.MustInsert("131", "Anna", "Princes", "Edinburgh", "EH1 1AA")
-	data.MustInsert("131", "Marc", "George", "Glasgow", "EH1 2BB") // dirty: AC 131 with two cities
+	for i, t := range []rel.Tuple{
+		{"20", "Mike", "Portland", "London", "W1B 1JL"},
+		{"20", "Rick", "Portland", "London", "W1B 1JL"},
+		{"131", "Anna", "Princes", "Edinburgh", "EH1 1AA"},
+		{"131", "Marc", "George", "Glasgow", "EH1 2BB"}, // dirty: AC 131 with two cities
+	} {
+		if err := data.InsertLine(t, i+2); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	fmt.Println("\nscanning the view for the remaining rules:")
 	for _, r := range mustValidate {
@@ -84,7 +92,7 @@ func main() {
 			continue
 		}
 		for _, v := range vs {
-			fmt.Printf("  %s: rows %d,%d — %s\n", r, v.T1+1, v.T2+1, v.Reason)
+			fmt.Printf("  %s: lines %d and %d — %s\n", r, v.Line1, v.Line2, v.Reason)
 		}
 	}
 }

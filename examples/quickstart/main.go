@@ -25,6 +25,23 @@
 // partial-result semantics as the library (a refutation found before the
 // stop is definitive).
 //
+// # Checking data
+//
+// Once the cover says which CFDs are NOT guaranteed, validate the data
+// against just those with cfdcheck:
+//
+//	go run ./cmd/cfdcheck -data customers.csv -cfds rules.txt
+//
+// Violations print the 1-based file lines of both offending tuples —
+// header- and quoted-newline-aware, so the numbers match what an editor
+// shows. Files of 64 MiB or more stream automatically (force with
+// -stream on|off): a chunked scan whose memory is bounded by witness-group
+// cardinality and worker count, not file size, so 10M-tuple files check in
+// fixed space; -parallel sets the worker count and -max-groups the
+// per-rule group budget before the detector falls back to multipass
+// hash-partitioning. cmd/benchfig -exp stream reproduces the scaling
+// evidence.
+//
 // # Degradation contract
 //
 // The daemon sheds rather than queues unboundedly: when the in-flight and

@@ -49,12 +49,13 @@ type Table struct {
 // Report is the machine-readable form of a benchfig run: everything the
 // text printers show, plus the Host stamp.
 type Report struct {
-	Host     Host           `json:"host"`
-	Series   []Series       `json:"series,omitempty"`
-	Tables   []Table        `json:"tables,omitempty"`
+	Host       Host             `json:"host"`
+	Series     []Series         `json:"series,omitempty"`
+	Tables     []Table          `json:"tables,omitempty"`
 	Blowup     []BlowupPoint    `json:"blowup,omitempty"`
 	Parallel   []ParallelCase   `json:"parallel,omitempty"`
 	Factorised []FactorisedCase `json:"factorised,omitempty"`
+	Stream     *StreamCase      `json:"stream,omitempty"`
 }
 
 // WriteJSON emits the report as indented JSON.

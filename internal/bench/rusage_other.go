@@ -1,0 +1,6 @@
+//go:build !linux && !darwin
+
+package bench
+
+// maxRSSKB is unavailable on this platform; the report omits the field.
+func maxRSSKB() int64 { return 0 }

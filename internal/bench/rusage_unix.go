@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package bench
+
+import "syscall"
+
+// maxRSSKB returns the process's peak resident set size. Linux reports
+// KiB; darwin reports bytes, normalized here to KiB.
+func maxRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	kb := int64(ru.Maxrss)
+	if kb > 1<<32 { // darwin: bytes
+		kb >>= 10
+	}
+	return kb
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A fast end-to-end run of the stream experiment machinery: generate a
+// short file, sweep two worker counts, and require the oracle check, the
+// worker cross-check and the heap-budget assertion all to hold. The
+// deterministic error injection guarantees non-zero violations at this
+// size.
+func TestStreamScalingSmoke(t *testing.T) {
+	c := Config{Seed: 5, Trials: 1}
+	cs, err := StreamScaling(c, 30_000, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Rows != 30_000 || cs.Rules != 4 {
+		t.Fatalf("case shape: %+v", cs)
+	}
+	if cs.Violations == 0 {
+		t.Fatal("deterministic injection produced no violations")
+	}
+	if cs.Passes < cs.Rules {
+		t.Fatalf("passes %d < rules %d", cs.Passes, cs.Rules)
+	}
+	if len(cs.Points) != 2 {
+		t.Fatalf("points: %+v", cs.Points)
+	}
+	for _, p := range cs.Points {
+		if p.Runtime <= 0 || p.Speedup <= 0 {
+			t.Fatalf("point not measured: %+v", p)
+		}
+	}
+	if cs.OracleRows != 30_000 {
+		t.Fatalf("oracle rows %d, want 30000 (full file at this size)", cs.OracleRows)
+	}
+}
+
+func TestGenerateStreamCSVDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	na, err := GenerateStreamCSV(a, 2_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := GenerateStreamCSV(b, 2_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb {
+		t.Fatalf("sizes differ: %d != %d", na, nb)
+	}
+	ca, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ca) != string(cb) {
+		t.Fatal("same seed produced different files")
+	}
+}

@@ -11,14 +11,26 @@ import (
 // CFDs it names a pair of tuple indexes (possibly equal, when a single
 // tuple clashes with a constant RHS pattern) and the offending RHS
 // attribute; for equality CFDs T2 == T1.
+//
+// Line1 and Line2 are the authoritative 1-based source-file lines of the
+// two tuples, taken from the instance's provenance (rel.Instance.Line):
+// for a CSV loaded with its header these are real file lines (first data
+// row = line 2), so reports never need to reconstruct them from tuple
+// ordinals — the historical source of off-by-one row numbers. They are 0
+// when the instance carries no provenance.
 type Violation struct {
 	CFD    *CFD
 	T1, T2 int    // tuple indexes into the instance
+	Line1  int    // 1-based source-file line of tuple T1; 0 when untracked
+	Line2  int    // 1-based source-file line of tuple T2; 0 when untracked
 	Attr   string // RHS attribute where the conflict shows
 	Reason string
 }
 
 func (v Violation) String() string {
+	if v.Line1 > 0 && v.Line2 > 0 {
+		return fmt.Sprintf("violation of %s at lines %d,%d on %s: %s", v.CFD, v.Line1, v.Line2, v.Attr, v.Reason)
+	}
 	return fmt.Sprintf("violation of %s at tuples %d,%d on %s: %s", v.CFD, v.T1, v.T2, v.Attr, v.Reason)
 }
 
@@ -80,7 +92,7 @@ func violations(in *rel.Instance, c *CFD, firstOnly bool) ([]Violation, error) {
 		for i, it := range c.RHS {
 			if !it.Pat.Matches(t[rhsIdx[i]]) {
 				out = append(out, Violation{
-					CFD: c, T1: ti, T2: ti, Attr: it.Attr,
+					CFD: c, T1: ti, T2: ti, Line1: in.Line(ti), Line2: in.Line(ti), Attr: it.Attr,
 					Reason: fmt.Sprintf("value %q does not match pattern %s", t[rhsIdx[i]], it.Pat),
 				})
 				if firstOnly {
@@ -98,7 +110,7 @@ func violations(in *rel.Instance, c *CFD, firstOnly bool) ([]Violation, error) {
 		for i, it := range c.RHS {
 			if ft[rhsIdx[i]] != t[rhsIdx[i]] {
 				out = append(out, Violation{
-					CFD: c, T1: first, T2: ti, Attr: it.Attr,
+					CFD: c, T1: first, T2: ti, Line1: in.Line(first), Line2: in.Line(ti), Attr: it.Attr,
 					Reason: fmt.Sprintf("agree on LHS but %q != %q on %s", ft[rhsIdx[i]], t[rhsIdx[i]], it.Attr),
 				})
 				if firstOnly {
@@ -124,7 +136,7 @@ func equalityViolations(in *rel.Instance, c *CFD, firstOnly bool) ([]Violation, 
 	for ti, t := range in.Tuples {
 		if t[ia] != t[ib] {
 			out = append(out, Violation{
-				CFD: c, T1: ti, T2: ti, Attr: b,
+				CFD: c, T1: ti, T2: ti, Line1: in.Line(ti), Line2: in.Line(ti), Attr: b,
 				Reason: fmt.Sprintf("%s=%q differs from %s=%q", a, t[ia], b, t[ib]),
 			})
 			if firstOnly {

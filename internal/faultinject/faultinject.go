@@ -44,4 +44,7 @@ const (
 	// SiteDaemonDrain fires during daemon shutdown, after readiness has
 	// flipped and before queued/new requests start being refused.
 	SiteDaemonDrain = "daemon.drain"
+	// SiteStreamChunk fires once per chunk inside the streaming detector's
+	// mapper stage, before the chunk's σ/π work begins.
+	SiteStreamChunk = "stream.chunk"
 )

@@ -140,6 +140,73 @@ func TestMemoReplayByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSerialEmptyPreseedParity: the serial path pre-seeds disjunct
+// emptiness from the memo like the parallel scout, so a warm serial run
+// skips the doomed tableau builds while staying byte-identical — to a
+// memo-free serial run, and to a warm parallel run including the per-call
+// MemoHits/MemoMisses counters. The memo's EmptyHits counter proves the
+// serial path actually consulted the cache at Parallelism 1.
+func TestSerialEmptyPreseedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	preseededTrials := 0
+	for trial := 0; trial < 40; trial++ {
+		db := finiteSchema(2)
+		view := randomUnionView(rng, []string{"A", "B", "C", "D"})
+		sigma := randomSmallCFDs(rng, 2)
+		var phi *cfd.CFD
+		if trial%4 == 3 {
+			attrs := view.Disjuncts[0].Projection
+			phi = cfd.NewEquality("V", attrs[rng.Intn(len(attrs))], attrs[rng.Intn(len(attrs))])
+			if phi.LHS[0].Attr == phi.RHS[0].Attr {
+				continue
+			}
+		} else {
+			phi = randomSmallViewCFD(rng, view.Disjuncts[0])
+			if phi == nil {
+				continue
+			}
+		}
+		base := Options{General: true, WantCounterexample: true}
+		cold, err := Check(db, view, sigma, phi, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		memo := NewMemo()
+		warm := base
+		warm.Memo = memo
+		if _, err := Check(db, view, sigma, phi, warm); err != nil {
+			t.Fatal(err)
+		}
+		before := memo.Stats()
+		serial, err := Check(db, view, sigma, phi, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := memo.Stats()
+		if !reflect.DeepEqual(zeroMemoCounters(serial), zeroMemoCounters(cold)) {
+			t.Fatalf("warm serial diverged from memo-free run (V=%s φ=%s Σ=%v)\n got: %+v\nwant: %+v",
+				view, phi, sigma, serial, cold)
+		}
+		if after.EmptyHits > before.EmptyHits {
+			preseededTrials++
+		}
+		par := warm
+		par.Parallelism = 4
+		parallel, err := Check(db, view, sigma, phi, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("warm serial diverged from warm parallel (V=%s φ=%s Σ=%v)\n got: %+v\nwant: %+v",
+				view, phi, sigma, serial, parallel)
+		}
+	}
+	if preseededTrials == 0 {
+		t.Fatal("no trial ever pre-seeded emptiness from the memo; the sweep is degenerate")
+	}
+}
+
 // TestMemoCounterexampleUpgrade: an entry stored without a counterexample
 // does not satisfy a WantCounterexample lookup — the pair is recomputed,
 // the witness matches a memo-free run byte for byte, and the flushed

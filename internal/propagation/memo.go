@@ -29,7 +29,8 @@ type Memo struct {
 	empty map[string]bool
 	pairs map[string]*memoPairEntry
 
-	hits, misses atomic.Int64
+	hits, misses           atomic.Int64
+	emptyHits, emptyMisses atomic.Int64
 }
 
 // memoPairEntry is one pair check's serial-equivalent contribution.
@@ -52,6 +53,13 @@ type MemoStats struct {
 	Disjuncts int   `json:"disjuncts"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
+	// EmptyHits/EmptyMisses count lookupEmpty outcomes: how often a
+	// disjunct's intrinsic emptiness was answered from the cache versus
+	// unknown. Both the parallel scout and the serial pre-seed consult the
+	// cache once per disjunct, so the counters advance identically at every
+	// Parallelism.
+	EmptyHits   int64 `json:"empty_hits"`
+	EmptyMisses int64 `json:"empty_misses"`
 }
 
 // Stats snapshots the memo.
@@ -62,18 +70,25 @@ func (m *Memo) Stats() MemoStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return MemoStats{
-		Pairs:     len(m.pairs),
-		Disjuncts: len(m.empty),
-		Hits:      m.hits.Load(),
-		Misses:    m.misses.Load(),
+		Pairs:       len(m.pairs),
+		Disjuncts:   len(m.empty),
+		Hits:        m.hits.Load(),
+		Misses:      m.misses.Load(),
+		EmptyHits:   m.emptyHits.Load(),
+		EmptyMisses: m.emptyMisses.Load(),
 	}
 }
 
 // lookupEmpty reports a disjunct's intrinsic emptiness, if known.
 func (m *Memo) lookupEmpty(key string) (empty, known bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	empty, known = m.empty[key]
+	m.mu.Unlock()
+	if known {
+		m.emptyHits.Add(1)
+	} else {
+		m.emptyMisses.Add(1)
+	}
 	return empty, known
 }
 

@@ -441,6 +441,20 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 	res := &Result{Propagated: true}
 	k := len(view.Disjuncts)
 	emptyDisjunct := make([]bool, k)
+	// Pre-seed intrinsic emptiness from the memo, like the parallel scout
+	// (parallel.go): emptiness is intrinsic to a disjunct, so a warm memo
+	// answers without building the tableau. The discovery visit is still
+	// replayed below — pre-visit stop check plus one PairsChecked — so the
+	// Result stays byte-identical to a cold serial run and to the parallel
+	// path; only the redundant build is skipped.
+	knownEmpty := make([]bool, k)
+	if opts.Memo != nil {
+		for d := 0; d < k; d++ {
+			if e, known := opts.Memo.lookupEmpty(disjunctKey(view.Disjuncts[d])); known && e {
+				knownEmpty[d] = true
+			}
+		}
+	}
 	w, err := newPairWorker(db)
 	if err != nil {
 		return nil, err
@@ -469,6 +483,12 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 				res.Stopped = r
 				return res, nil
 			}
+			if knownEmpty[i] {
+				// The visit that would discover the emptiness, minus the
+				// doomed tableau build.
+				res.PairsChecked++
+				continue
+			}
 			ok, err := equalityCheck(w, db, view.Disjuncts[i], sigmaN, phi, opts, res)
 			if done, rerr := stopOn(err); done {
 				return res, rerr
@@ -485,8 +505,30 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 		if emptyDisjunct[i] {
 			continue
 		}
+		if knownEmpty[i] {
+			// Serial would check (i,i), fail building t1, and mark i empty;
+			// replay the visit's counters without the build.
+			if r := opts.stopCheck(); r != StopNone {
+				res.Stopped = r
+				return res, nil
+			}
+			res.PairsChecked++
+			emptyDisjunct[i] = true
+			continue
+		}
 		for j := i; j < k; j++ {
 			if emptyDisjunct[j] {
+				continue
+			}
+			if knownEmpty[j] {
+				// j > i, i non-empty: serial builds t1 fine and discovers
+				// t2's inconsistency. One visit, then j is skipped for good.
+				if r := opts.stopCheck(); r != StopNone {
+					res.Stopped = r
+					return res, nil
+				}
+				res.PairsChecked++
+				emptyDisjunct[j] = true
 				continue
 			}
 			if r := opts.stopCheck(); r != StopNone {

@@ -42,9 +42,18 @@ func (t Tuple) Key() string {
 // Instance is a finite set of tuples over a schema. Duplicates are allowed
 // at insertion (bag) but Dedup can restore set semantics; the CFD semantics
 // of the paper are insensitive to duplicates.
+//
+// An instance loaded from a text file can carry source-line provenance:
+// InsertLine records the 1-based file line each tuple came from, and Line
+// reports it back. Violation reporting uses these authoritative lines (a
+// CSV's first data row is line 2, after the header; a quoted multi-line
+// field shifts later rows further), so user-facing row numbers never have
+// to be reconstructed from tuple ordinals.
 type Instance struct {
 	Schema *Schema
 	Tuples []Tuple
+
+	lines []int // 1-based source line per tuple; nil when untracked
 }
 
 // NewInstance creates an empty instance of the schema.
@@ -63,7 +72,33 @@ func (in *Instance) Insert(t Tuple) error {
 		}
 	}
 	in.Tuples = append(in.Tuples, t.Clone())
+	if in.lines != nil {
+		in.lines = append(in.lines, 0)
+	}
 	return nil
+}
+
+// InsertLine is Insert with source-line provenance: line is the 1-based
+// line of the source file the tuple was read from. Mixing Insert and
+// InsertLine is allowed; tuples inserted without a line report 0.
+func (in *Instance) InsertLine(t Tuple, line int) error {
+	if in.lines == nil {
+		in.lines = make([]int, len(in.Tuples))
+	}
+	if err := in.Insert(t); err != nil {
+		return err
+	}
+	in.lines[len(in.lines)-1] = line
+	return nil
+}
+
+// Line returns tuple i's 1-based source-file line, or 0 when the instance
+// carries no provenance for it.
+func (in *Instance) Line(i int) int {
+	if in.lines == nil || i < 0 || i >= len(in.lines) {
+		return 0
+	}
+	return in.lines[i]
 }
 
 // MustInsert is Insert that panics on error; for tests and examples.
@@ -90,14 +125,22 @@ func (in *Instance) Value(i int, attr string) (string, error) {
 func (in *Instance) Dedup() *Instance {
 	seen := make(map[string]bool, len(in.Tuples))
 	out := in.Tuples[:0]
-	for _, t := range in.Tuples {
+	var lines []int
+	if in.lines != nil {
+		lines = in.lines[:0]
+	}
+	for i, t := range in.Tuples {
 		k := t.Key()
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, t)
+			if in.lines != nil {
+				lines = append(lines, in.lines[i])
+			}
 		}
 	}
 	in.Tuples = out
+	in.lines = lines
 	return in
 }
 
@@ -107,6 +150,9 @@ func (in *Instance) Clone() *Instance {
 	c.Tuples = make([]Tuple, len(in.Tuples))
 	for i, t := range in.Tuples {
 		c.Tuples[i] = t.Clone()
+	}
+	if in.lines != nil {
+		c.lines = append([]int(nil), in.lines...)
 	}
 	return c
 }

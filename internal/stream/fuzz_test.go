@@ -1,0 +1,73 @@
+package stream
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"cfdprop/internal/cfd"
+)
+
+// FuzzStreamCSV throws arbitrary CSV content at the streaming detector and
+// compares it against the in-memory oracle: both must agree on error-ness,
+// and when both succeed the streaming report must reproduce the oracle's
+// violations — counts, ordinals, authoritative lines, reasons — exactly.
+// Seeds come from the cfdcheck fixture plus the FuzzReadCSV corpus, so the
+// two fuzzers explore the same malformed-input space.
+func FuzzStreamCSV(f *testing.F) {
+	if seed, err := os.ReadFile("../../cmd/cfdcheck/testdata/customers.csv"); err == nil {
+		f.Add(string(seed))
+	}
+	for _, s := range []string{
+		"a,b\n1,2\n",
+		"a,b\n1\n",
+		"\"unterminated\na,b\n",
+		"a,a\n1,2\n",
+		",\n,\n",
+		"a;b\n1;2\n",
+		"a,b\n1,x\n\"q\nq\",y\n1,z\n",
+		"A,B,C,D\nv,v,v,v\nv,v,w,v\n",
+	} {
+		f.Add(s)
+	}
+	rules := []*cfd.CFD{
+		cfd.MustParse("R([a] -> [b])"),
+		cfd.MustParse("R([A, B] -> [C])"),
+		cfd.MustParse("R([zip] -> [street])"),
+		cfd.MustParse("R([CC=44, AC=20] -> [city=LDN])"),
+		cfd.MustParse("R(a == b)"),
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		in, oerr := LoadInstance(strings.NewReader(data), "fuzz", "R")
+		rep, serr := CheckReader(strings.NewReader(data), "fuzz", rules, Options{Parallel: 2, ChunkSize: 3})
+		if (oerr == nil) != (serr == nil) {
+			t.Fatalf("oracle err = %v, stream err = %v on %q", oerr, serr, data)
+		}
+		if oerr != nil {
+			return
+		}
+		if rep.Rows != in.Len() {
+			t.Fatalf("stream saw %d rows, oracle %d, on %q", rep.Rows, in.Len(), data)
+		}
+		for ri, c := range rules {
+			want, werr := cfd.Violations(in, c)
+			got := rep.Rules[ri]
+			if (werr == nil) != (got.Err == nil) {
+				t.Fatalf("rule %s: oracle err = %v, stream err = %v on %q", c, werr, got.Err, data)
+			}
+			if werr != nil {
+				continue
+			}
+			if got.Count != len(want) || len(got.Violations) != len(want) {
+				t.Fatalf("rule %s: stream %d/%d violations, oracle %d, on %q", c, got.Count, len(got.Violations), len(want), data)
+			}
+			for k := range want {
+				g, w := got.Violations[k], want[k]
+				if g.T1 != w.T1 || g.T2 != w.T2 || g.Line1 != w.Line1 || g.Line2 != w.Line2 ||
+					g.Attr != w.Attr || g.Reason != w.Reason {
+					t.Fatalf("rule %s violation %d: got %+v want %+v on %q", c, k, g, w, data)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"cfdprop/internal/cfd"
+)
+
+// The multipass fallback: when a rule's distinct X-projection count
+// exceeds Options.MaxGroups (an LHS that is nearly a key), keeping a
+// witness per group would break the memory bound. The rule is re-run over
+// hash-space partitions instead: a partition keeps witnesses only for
+// groups whose hash matches `mask` on its low `bits` bits, so each pass
+// holds at most MaxGroups witnesses; a partition that itself overflows is
+// split into two finer partitions (one more bit) and re-scanned. Every
+// group belongs to exactly one completed partition, and per-tuple
+// (phase-0) violations are emitted by the one completed partition owning
+// the tuple's group hash, so no violation is duplicated or lost. The
+// worklist terminates because a partition's group count halves in
+// expectation per added bit; a pathological hash pile-up is cut off at 32
+// bits with an explicit error rather than an unbounded pass count.
+
+const maxPartitionBits = 32
+
+type partition struct {
+	bits uint
+	mask uint64
+}
+
+// multipass recomputes one overflowed rule's report with bounded memory,
+// re-reading the input once per partition.
+func multipass(open func() (io.ReadCloser, error), name string, rep *Report, r compiledRule, rr *RuleReport, opts Options) error {
+	queue := []partition{{bits: 1, mask: 0}, {bits: 1, mask: 1}}
+	var bufs [][]vio
+	var counts []int
+	groups := 0
+	passes := 1 // the shared pass this rule overflowed in
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p.bits > maxPartitionBits {
+			return fmt.Errorf("stream: %s: rule %s overflows the group budget (%d) even at 2^%d hash partitions",
+				name, r.c, opts.MaxGroups, maxPartitionBits)
+		}
+		passes++
+		vios, count, g, fit, err := scanPartition(open, name, r, p, opts)
+		if err != nil {
+			return err
+		}
+		if !fit {
+			queue = append(queue,
+				partition{bits: p.bits + 1, mask: p.mask},
+				partition{bits: p.bits + 1, mask: p.mask | 1<<p.bits})
+			continue
+		}
+		bufs = append(bufs, vios)
+		counts = append(counts, count)
+		groups += g
+	}
+	rr.Passes = passes
+	rr.Groups = groups
+	mergeVios(rr, bufs, counts, opts.MaxViolations)
+	return nil
+}
+
+// scanPartition scans the whole input once for a single rule, keeping
+// state only for groups hashing into the partition. fit is false when the
+// partition itself exceeds MaxGroups — the partial results are discarded
+// and the caller splits the partition.
+func scanPartition(open func() (io.ReadCloser, error), name string, r compiledRule, p partition, opts Options) (vios []vio, count, groups int, fit bool, err error) {
+	src, err := open()
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	defer src.Close()
+	cr := newCSVReader(src)
+	if _, err := readHeader(cr, name, opts.Relation); err != nil {
+		return nil, 0, 0, false, err
+	}
+
+	low := uint64(1)<<p.bits - 1
+	witnesses := make(map[string]witness)
+	var keyBuf []byte
+	done := opts.Context.Done()
+	ord := 0
+	for ; ; ord++ {
+		if ord&4095 == 0 {
+			select {
+			case <-done:
+				return nil, 0, 0, false, opts.Context.Err()
+			default:
+			}
+		}
+		vals, rerr := cr.Read()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return nil, 0, 0, false, fmt.Errorf("%s: %w", name, rerr)
+		}
+		match := true
+		for i, it := range r.c.LHS {
+			if !it.Pat.Matches(vals[r.lhsIdx[i]]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		var key string
+		key, keyBuf = groupKey(keyBuf, vals, r.lhsIdx)
+		if hashKey(key)&low != p.mask {
+			continue
+		}
+		line, _ := cr.FieldPos(0)
+		for i, it := range r.c.RHS {
+			if !it.Pat.Matches(vals[r.rhsIdx[i]]) {
+				count++
+				if opts.MaxViolations <= 0 || len(vios) < opts.MaxViolations {
+					vios = append(vios, vio{ord: ord, phase: 0, attr: i, v: cfd.Violation{
+						CFD: r.c, T1: ord, T2: ord, Line1: line, Line2: line, Attr: it.Attr,
+						Reason: fmt.Sprintf("value %q does not match pattern %s", vals[r.rhsIdx[i]], it.Pat),
+					}})
+				}
+			}
+		}
+		wt, ok := witnesses[key]
+		if !ok {
+			if opts.MaxGroups >= 0 && len(witnesses) >= opts.MaxGroups {
+				return nil, 0, 0, false, nil // partition too coarse: split
+			}
+			y := make([]string, len(r.rhsIdx))
+			for i, j := range r.rhsIdx {
+				y[i] = vals[j]
+			}
+			witnesses[key] = witness{ord: ord, line: line, y: y}
+			continue
+		}
+		for i, it := range r.c.RHS {
+			if wt.y[i] != vals[r.rhsIdx[i]] {
+				count++
+				if opts.MaxViolations <= 0 || len(vios) < opts.MaxViolations {
+					vios = append(vios, vio{ord: ord, phase: 1, attr: i, v: cfd.Violation{
+						CFD: r.c, T1: wt.ord, T2: ord, Line1: wt.line, Line2: line, Attr: it.Attr,
+						Reason: fmt.Sprintf("agree on LHS but %q != %q on %s", wt.y[i], vals[r.rhsIdx[i]], it.Attr),
+					}})
+				}
+			}
+		}
+	}
+	return vios, count, len(witnesses), true, nil
+}

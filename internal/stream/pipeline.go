@@ -1,0 +1,458 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/faultinject"
+	"cfdprop/internal/rel"
+)
+
+// The shared single pass. Topology:
+//
+//	reader ──chunks──▶ mappers(W) ──mapped──▶ collector ──▶ reducers(W)
+//
+// The reader produces ChunkSize-row chunks tagged with a sequence number;
+// mappers run σ (LHS filter) and π (X/Y projection) per rule, emit
+// single-tuple violations directly, and bucket group records by
+// hash(X-projection) mod W; the collector restores sequence order and fans
+// each mapped chunk to every reducer; reducer w owns shard w of every
+// rule's witness map, so group state is never shared and each group's
+// tuples arrive in file order. Everything downstream of the reader sorts
+// by the (ord, phase, attr) key afterwards, so scheduling never shows in
+// the output.
+
+type row struct {
+	ord  int // 0-based data-row ordinal
+	line int // 1-based CSV file line (header-aware, quote-aware)
+	vals []string
+}
+
+type chunk struct {
+	seq  int
+	rows []row
+}
+
+// rec is one LHS-matching tuple's contribution to a group: the X-key, the
+// Y-projection, and its provenance. Constant size per tuple.
+type rec struct {
+	ord  int
+	line int
+	key  string
+	y    []string
+}
+
+type mappedRule struct {
+	shards [][]rec // indexed by shard; nil when the rule emitted nothing
+	direct []vio   // phase-0 violations (pattern clashes, equality)
+}
+
+type mapped struct {
+	seq   int
+	nrows int
+	rules []mappedRule
+}
+
+// witness is the constant-size state kept per group: the first tuple's
+// identity and Y-projection.
+type witness struct {
+	ord  int
+	line int
+	y    []string
+}
+
+// ruleState is the cross-worker state of one rule during the pass.
+type ruleState struct {
+	groups   atomic.Int64 // witnesses retained across all shards
+	overflow atomic.Bool  // exceeded MaxGroups; rule defers to multipass
+}
+
+// readHeader reads the header row and builds the schema, mirroring the
+// in-memory loader's errors.
+func readHeader(cr *csv.Reader, name, relation string) (*rel.Schema, error) {
+	hdr, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("%s: missing header row", name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	attrs := make([]rel.Attribute, len(hdr))
+	for i, n := range hdr {
+		attrs[i] = rel.Attribute{Name: strings.TrimSpace(n), Domain: rel.Infinite()}
+	}
+	return rel.NewSchema(relation, attrs...)
+}
+
+func newCSVReader(src io.Reader) *csv.Reader {
+	cr := csv.NewReader(src)
+	cr.TrimLeadingSpace = true
+	cr.ReuseRecord = true
+	return cr
+}
+
+// LoadInstance reads a whole CSV into a provenance-tracked rel.Instance:
+// header row as attribute names, every value in the infinite domain, each
+// tuple carrying its authoritative 1-based file line (header-aware and
+// quote-aware, via csv.Reader.FieldPos). It is the in-memory counterpart
+// of the streaming pass — cfdcheck's non-streaming path and the
+// differential suite both load through it, so oracle violations carry the
+// same Line1/Line2 the streaming detector reports.
+func LoadInstance(src io.Reader, name, relation string) (*rel.Instance, error) {
+	cr := newCSVReader(src)
+	schema, err := readHeader(cr, name, relation)
+	if err != nil {
+		return nil, err
+	}
+	in := rel.NewInstance(schema)
+	for {
+		vals, err := cr.Read()
+		if err == io.EOF {
+			return in, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		line, _ := cr.FieldPos(0)
+		if err := in.InsertLine(rel.Tuple(vals), line); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", name, line, err)
+		}
+	}
+}
+
+// singlePass runs the shared pass over the input and returns the report
+// (overflowed rules left unfilled), the compiled rules, and the indexes of
+// rules that exceeded the group budget.
+func singlePass(open func() (io.ReadCloser, error), name string, rules []*cfd.CFD, opts Options) (*Report, []compiledRule, []int, error) {
+	src, err := open()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer src.Close()
+	cr := newCSVReader(src)
+	schema, err := readHeader(cr, name, opts.Relation)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	compiled := compile(rules, schema)
+	W := opts.Parallel
+
+	states := make([]ruleState, len(rules))
+	var (
+		abort     = make(chan struct{})
+		abortOnce sync.Once
+		errMu     sync.Mutex
+		firstErr  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		abortOnce.Do(func() { close(abort) })
+	}
+	// guard wraps a pipeline stage with panic capture: a bug (or an
+	// injected fault) in one worker surfaces as this call's error, never a
+	// process crash or a deadlocked WaitGroup.
+	guard := func(stage string, fn func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(fmt.Errorf("stream: %s panic: %v", stage, r))
+			}
+		}()
+		fn()
+	}
+
+	chunks := make(chan *chunk, W)
+	mappedCh := make(chan *mapped, W)
+	redChs := make([]chan *mapped, W)
+	for w := range redChs {
+		redChs[w] = make(chan *mapped, 2)
+	}
+
+	totalRows := 0
+	var wg sync.WaitGroup
+
+	// Reader: chunked scan with authoritative line numbers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(chunks)
+		guard("reader", func() {
+			done := opts.Context.Done()
+			seq, ord := 0, 0
+			for {
+				select {
+				case <-done:
+					fail(opts.Context.Err())
+					return
+				case <-abort:
+					return
+				default:
+				}
+				ck := &chunk{seq: seq, rows: make([]row, 0, opts.ChunkSize)}
+				for len(ck.rows) < opts.ChunkSize {
+					vals, err := cr.Read()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						fail(fmt.Errorf("%s: %w", name, err))
+						return
+					}
+					line, _ := cr.FieldPos(0)
+					ck.rows = append(ck.rows, row{ord: ord, line: line, vals: append([]string(nil), vals...)})
+					ord++
+				}
+				if len(ck.rows) > 0 {
+					select {
+					case chunks <- ck:
+					case <-abort:
+						return
+					}
+					seq++
+				}
+				if len(ck.rows) < opts.ChunkSize {
+					totalRows = ord
+					return
+				}
+			}
+		})
+	}()
+
+	// Mappers.
+	var mapWG sync.WaitGroup
+	for n := 0; n < W; n++ {
+		wg.Add(1)
+		mapWG.Add(1)
+		go func() {
+			defer wg.Done()
+			defer mapWG.Done()
+			guard("mapper", func() {
+				for ck := range chunks {
+					m := mapChunk(ck, compiled, states, W, opts)
+					select {
+					case mappedCh <- m:
+					case <-abort:
+						return
+					}
+				}
+			})
+		}()
+	}
+	go func() {
+		mapWG.Wait()
+		close(mappedCh)
+	}()
+
+	// Collector: restore sequence order, bank phase-0 violations, fan out
+	// to the shard reducers.
+	directBufs := make([][]vio, len(rules))
+	directCounts := make([]int, len(rules))
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			for _, ch := range redChs {
+				close(ch)
+			}
+		}()
+		guard("collector", func() {
+			pending := make(map[int]*mapped)
+			next := 0
+			for m := range mappedCh {
+				pending[m.seq] = m
+				for {
+					mm, ok := pending[next]
+					if !ok {
+						break
+					}
+					delete(pending, next)
+					next++
+					for ri := range mm.rules {
+						for _, v := range mm.rules[ri].direct {
+							directCounts[ri]++
+							if opts.MaxViolations <= 0 || len(directBufs[ri]) < opts.MaxViolations {
+								directBufs[ri] = append(directBufs[ri], v)
+							}
+						}
+					}
+					for _, ch := range redChs {
+						select {
+						case ch <- mm:
+						case <-abort:
+							return
+						}
+					}
+				}
+			}
+		})
+	}()
+
+	// Reducers: shard w of every rule's witness map.
+	redBufs := make([][][]vio, W) // [worker][rule][]vio
+	redCounts := make([][]int, W) // [worker][rule]
+	for w := 0; w < W; w++ {
+		redBufs[w] = make([][]vio, len(rules))
+		redCounts[w] = make([]int, len(rules))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			guard("reducer", func() {
+				maps := make([]map[string]witness, len(rules))
+				for {
+					var m *mapped
+					var ok bool
+					select {
+					case m, ok = <-redChs[w]:
+					case <-abort:
+						return
+					}
+					if !ok {
+						return
+					}
+					reduceChunk(m, w, compiled, states, maps, redBufs[w], redCounts[w], opts)
+				}
+			})
+		}(w)
+	}
+
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, nil, firstErr
+	}
+
+	rep := &Report{Schema: schema, Rows: totalRows, Rules: make([]RuleReport, len(rules))}
+	var overflowed []int
+	for ri := range rules {
+		rr := &rep.Rules[ri]
+		rr.CFD = rules[ri]
+		rr.Err = compiled[ri].err
+		if rr.Err != nil {
+			continue
+		}
+		if states[ri].overflow.Load() {
+			overflowed = append(overflowed, ri)
+			continue
+		}
+		rr.Passes = 1
+		rr.Groups = int(states[ri].groups.Load())
+		bufs := make([][]vio, 0, W+1)
+		counts := make([]int, 0, W+1)
+		bufs = append(bufs, directBufs[ri])
+		counts = append(counts, directCounts[ri])
+		for w := 0; w < W; w++ {
+			bufs = append(bufs, redBufs[w][ri])
+			counts = append(counts, redCounts[w][ri])
+		}
+		mergeVios(rr, bufs, counts, opts.MaxViolations)
+	}
+	return rep, compiled, overflowed, nil
+}
+
+// mapChunk runs the σ/π stage of every rule over one chunk: LHS filtering,
+// immediate single-tuple violations, and group records bucketed by
+// hash(X) mod W.
+func mapChunk(ck *chunk, compiled []compiledRule, states []ruleState, W int, opts Options) *mapped {
+	faultinject.Hit(faultinject.SiteStreamChunk)
+	m := &mapped{seq: ck.seq, nrows: len(ck.rows), rules: make([]mappedRule, len(compiled))}
+	var keyBuf []byte
+	for ri := range compiled {
+		r := &compiled[ri]
+		if r.err != nil || states[ri].overflow.Load() {
+			continue
+		}
+		mr := &m.rules[ri]
+		if r.equality {
+			a, b := r.c.LHS[0].Attr, r.c.RHS[0].Attr
+			for _, t := range ck.rows {
+				if t.vals[r.ia] != t.vals[r.ib] {
+					mr.direct = append(mr.direct, vio{ord: t.ord, phase: 0, attr: 0, v: cfd.Violation{
+						CFD: r.c, T1: t.ord, T2: t.ord, Line1: t.line, Line2: t.line, Attr: b,
+						Reason: fmt.Sprintf("%s=%q differs from %s=%q", a, t.vals[r.ia], b, t.vals[r.ib]),
+					}})
+				}
+			}
+			continue
+		}
+	rows:
+		for _, t := range ck.rows {
+			for i, it := range r.c.LHS {
+				if !it.Pat.Matches(t.vals[r.lhsIdx[i]]) {
+					continue rows
+				}
+			}
+			for i, it := range r.c.RHS {
+				if !it.Pat.Matches(t.vals[r.rhsIdx[i]]) {
+					mr.direct = append(mr.direct, vio{ord: t.ord, phase: 0, attr: i, v: cfd.Violation{
+						CFD: r.c, T1: t.ord, T2: t.ord, Line1: t.line, Line2: t.line, Attr: it.Attr,
+						Reason: fmt.Sprintf("value %q does not match pattern %s", t.vals[r.rhsIdx[i]], it.Pat),
+					}})
+				}
+			}
+			var key string
+			key, keyBuf = groupKey(keyBuf, t.vals, r.lhsIdx)
+			y := make([]string, len(r.rhsIdx))
+			for i, j := range r.rhsIdx {
+				y[i] = t.vals[j]
+			}
+			if mr.shards == nil {
+				mr.shards = make([][]rec, W)
+			}
+			s := int(hashKey(key) % uint64(W))
+			mr.shards[s] = append(mr.shards[s], rec{ord: t.ord, line: t.line, key: key, y: y})
+		}
+	}
+	return m
+}
+
+// reduceChunk folds one in-order mapped chunk into reducer w's witness
+// maps, emitting group conflicts on arrival.
+func reduceChunk(m *mapped, w int, compiled []compiledRule, states []ruleState, maps []map[string]witness, bufs [][]vio, counts []int, opts Options) {
+	for ri := range m.rules {
+		if m.rules[ri].shards == nil {
+			continue
+		}
+		st := &states[ri]
+		if st.overflow.Load() {
+			maps[ri] = nil // free the shard's witnesses; multipass redoes the rule
+			continue
+		}
+		r := &compiled[ri]
+		if maps[ri] == nil {
+			maps[ri] = make(map[string]witness)
+		}
+		for _, rc := range m.rules[ri].shards[w] {
+			wt, ok := maps[ri][rc.key]
+			if !ok {
+				if opts.MaxGroups >= 0 && st.groups.Add(1) > int64(opts.MaxGroups) {
+					st.overflow.Store(true)
+					maps[ri] = nil
+					break
+				}
+				if opts.MaxGroups < 0 {
+					st.groups.Add(1)
+				}
+				maps[ri][rc.key] = witness{ord: rc.ord, line: rc.line, y: rc.y}
+				continue
+			}
+			for i, it := range r.c.RHS {
+				if wt.y[i] != rc.y[i] {
+					counts[ri]++
+					if opts.MaxViolations <= 0 || len(bufs[ri]) < opts.MaxViolations {
+						bufs[ri] = append(bufs[ri], vio{ord: rc.ord, phase: 1, attr: i, v: cfd.Violation{
+							CFD: r.c, T1: wt.ord, T2: rc.ord, Line1: wt.line, Line2: rc.line, Attr: it.Attr,
+							Reason: fmt.Sprintf("agree on LHS but %q != %q on %s", wt.y[i], rc.y[i], it.Attr),
+						}})
+					}
+				}
+			}
+		}
+	}
+}
