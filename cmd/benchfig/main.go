@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchfig [-exp all|fig5|fig6|fig7|fig8|table1|table2|blowup|parallel|factorised|stream]
+//	benchfig [-exp all|fig5|fig6|fig7|fig8|table1|table2|blowup|parallel|factorised|incremental|stream]
 //	         [-trials N] [-seed S] [-sigma N] [-rows N] [-quick] [-parallel N] [-json]
 //
 // -json replaces the text tables with one machine-readable report whose
@@ -45,7 +45,7 @@ import (
 const defaultStreamRows = 10_000_000
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, table2, blowup, parallel, factorised, stream")
+	exp := flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, table2, blowup, parallel, factorised, incremental, stream")
 	trials := flag.Int("trials", 3, "random workloads per data point")
 	rows := flag.Int("rows", defaultStreamRows, "synthetic row count for the stream experiment")
 	seed := flag.Int64("seed", 1, "base RNG seed")
@@ -156,6 +156,25 @@ func main() {
 			} else {
 				bench.PrintFactorised(os.Stdout, cases)
 			}
+		case "incremental":
+			ks := []int{6, 12, 24}
+			if *quick {
+				ks = []int{4, 8}
+			}
+			cases, err := bench.IncrementalEdits(cfg, ks)
+			if err != nil {
+				return err
+			}
+			patch, err := bench.IncrementalPatchDaemon(cfg, ks[len(ks)-1])
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				report.Incremental = cases
+				report.IncrementalPatch = patch
+			} else {
+				bench.PrintIncremental(os.Stdout, cases, patch)
+			}
 		case "stream":
 			n := *rows
 			if *quick && n == defaultStreamRows {
@@ -178,7 +197,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "table2", "blowup", "parallel", "factorised", "fig5", "fig6", "fig7", "fig8"}
+		names = []string{"table1", "table2", "blowup", "parallel", "factorised", "incremental", "fig5", "fig6", "fig7", "fig8"}
 	}
 	// The sweeps observe cfg.Ctx cooperatively; the watchdog additionally
 	// covers the experiments that take no Config (tables, blowup), so

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strconv"
+	"time"
+
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/core"
+	"cfdprop/internal/daemon"
+	"cfdprop/internal/propagation"
+	"cfdprop/internal/rel"
+	"cfdprop/internal/spec"
+)
+
+// IncrementalCase is one workload of the incremental-propagation ablation:
+// a single-CFD Σ edit applied to a warm CoverSession (delta-compiled
+// buckets, carried memo verdicts, cached disjunct tails) versus the same
+// edit handed to a from-scratch PropCFDSPCU recompile. Both paths are
+// cross-checked for identical covers on every edit.
+type IncrementalCase struct {
+	Name      string `json:"name"`
+	Disjuncts int    `json:"disjuncts"`
+	SigmaSize int    `json:"sigma_size"`
+	CoverSize int    `json:"cover_size"`
+	// FullRecompile / Incremental are per-edit medians.
+	FullRecompile time.Duration `json:"full_recompile_ns"`
+	Incremental   time.Duration `json:"incremental_ns"`
+	Speedup       float64       `json:"speedup"`
+	// PairsCarried / EmptyCarried total the memo verdicts migrated across
+	// all timed edits — non-zero proves the warm path really replays state
+	// instead of degenerating to a recompile.
+	PairsCarried int64 `json:"pairs_carried"`
+	EmptyCarried int64 `json:"empty_carried"`
+}
+
+// IncrementalPatch reports the daemon PATCH segment: the same workload
+// served over HTTP, comparing a cold /v1/cover against a /v1/cover issued
+// after PATCHing a single-CFD delta into the warm universe. Carried holds
+// the carryover counters from the PATCH response.
+type IncrementalPatch struct {
+	Name         string                 `json:"name"`
+	ColdCover    time.Duration          `json:"cold_cover_ns"`
+	PatchedCover time.Duration          `json:"patched_cover_ns"`
+	Speedup      float64                `json:"speedup"`
+	Carried      propagation.CarryStats `json:"carried"`
+}
+
+// incrementalWorkload builds the Example 1.1 shape at scale: k relations
+// R1..Rk, each embedded by its own union disjunct tagged CC=i, so guarded
+// candidates (V([CC=i, X] -> Y)) survive the union filter while unguarded
+// ones are vacuously refuted by cross-disjunct pairs. Each relation
+// carries a determining chain A1 -> ... -> An plus filler FDs, giving the
+// per-disjunct covers real work. A one-relation edit leaves every other
+// relation's buckets, disjunct tails and pair verdicts intact — the state
+// the incremental path gets to reuse.
+func incrementalWorkload(k, nAttrs int) (*rel.DBSchema, *algebra.SPCU, []*cfd.CFD) {
+	attrs := make([]string, nAttrs)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("A%d", i+1)
+	}
+	schemas := make([]*rel.Schema, k)
+	for r := range schemas {
+		schemas[r] = rel.InfiniteSchema(fmt.Sprintf("R%d", r+1), attrs...)
+	}
+	db := rel.MustDBSchema(schemas...)
+
+	var sigma []*cfd.CFD
+	ds := make([]*algebra.SPC, k)
+	for r := 1; r <= k; r++ {
+		name := fmt.Sprintf("R%d", r)
+		for i := 0; i+1 < nAttrs; i++ {
+			sigma = append(sigma, cfd.MustParse(fmt.Sprintf("%s(%s -> %s)", name, attrs[i], attrs[i+1])))
+		}
+		// Filler off the chain: two-attribute LHSes the per-relation
+		// MinCover has to examine against the chain.
+		sigma = append(sigma,
+			cfd.MustParse(fmt.Sprintf("%s([%s, %s] -> [%s])", name, attrs[0], attrs[nAttrs-1], attrs[1])),
+			cfd.MustParse(fmt.Sprintf("%s([%s, %s] -> [%s])", name, attrs[1], attrs[2], attrs[nAttrs-1])),
+		)
+		ds[r-1] = &algebra.SPC{
+			Name:       "V",
+			Consts:     []algebra.ConstAtom{{Attr: "CC", Value: strconv.Itoa(r)}},
+			Atoms:      []algebra.RelAtom{{Source: name, Attrs: attrs}},
+			Projection: append([]string{"CC"}, attrs...),
+		}
+	}
+	view, err := algebra.NewSPCU("V", ds...)
+	if err != nil {
+		panic(err)
+	}
+	return db, view, sigma
+}
+
+// stripUnion zeroes the memo tallies — the only UnionResult fields the
+// warm path may legitimately differ on from a from-scratch run.
+func stripUnion(r *core.UnionResult) core.UnionResult {
+	c := *r
+	c.MemoHits, c.MemoMisses = 0, 0
+	return c
+}
+
+// withoutCFD returns sigma minus the given member (by pointer).
+func withoutCFD(sigma []*cfd.CFD, victim *cfd.CFD) []*cfd.CFD {
+	out := make([]*cfd.CFD, 0, len(sigma)-1)
+	for _, c := range sigma {
+		if c != victim {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IncrementalEdits times single-CFD Σ edits on warm CoverSessions against
+// full PropCFDSPCU recompiles across a grid of union widths. Each timed
+// edit toggles one chain CFD of R1 out of and back into Σ, so every
+// measurement is a genuine Σ change (the unchanged-Σ result cache never
+// fires) touching exactly one relation. ks lists the disjunct counts to
+// sweep; nil selects {6, 12, 24}.
+func IncrementalEdits(c Config, ks []int) ([]IncrementalCase, error) {
+	c = c.Defaults()
+	if len(ks) == 0 {
+		ks = []int{6, 12, 24}
+	}
+	ctx := c.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var out []IncrementalCase
+	for _, k := range ks {
+		const nAttrs = 6
+		db, view, sigma := incrementalWorkload(k, nAttrs)
+		name := fmt.Sprintf("union-edit/k=%d", k)
+
+		cs, err := core.NewCoverSession(db, view, core.Options{Parallelism: 1, Context: ctx})
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", name, err)
+		}
+		warm, err := cs.Cover(ctx, sigma)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s warmup: %w", name, err)
+		}
+		if len(warm.Cover) == 0 {
+			return nil, fmt.Errorf("bench %s: warm cover is empty; the edit measurements would be vacuous", name)
+		}
+
+		// The victim is R1's last chain link: removing it flips the
+		// guarded transitive candidates of disjunct 1 only.
+		victim := sigma[nAttrs-2]
+		edited := [][]*cfd.CFD{withoutCFD(sigma, victim), sigma}
+
+		opts := core.Options{Parallelism: 1, Context: ctx}
+		var incTimes, fullTimes []time.Duration
+		for t := 0; t < 2*c.Trials; t++ {
+			s := edited[t%2]
+			start := time.Now()
+			got, err := cs.Cover(ctx, s)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s edit %d (incremental): %w", name, t, err)
+			}
+			incTimes = append(incTimes, time.Since(start))
+
+			start = time.Now()
+			want, err := core.PropCFDSPCU(db, view, s, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s edit %d (recompile): %w", name, t, err)
+			}
+			fullTimes = append(fullTimes, time.Since(start))
+
+			if g, w := stripUnion(got), stripUnion(want); !reflect.DeepEqual(g, w) {
+				return nil, fmt.Errorf("bench %s edit %d: incremental cover diverged from recompile", name, t)
+			}
+		}
+		sort.Slice(incTimes, func(i, j int) bool { return incTimes[i] < incTimes[j] })
+		sort.Slice(fullTimes, func(i, j int) bool { return fullTimes[i] < fullTimes[j] })
+		inc, full := incTimes[len(incTimes)/2], fullTimes[len(fullTimes)/2]
+		carry := cs.CarryStats()
+		if carry.PairsCarried+carry.EmptyCarried == 0 {
+			return nil, fmt.Errorf("bench %s: no memo verdict was carried; the warm path degenerated", name)
+		}
+		out = append(out, IncrementalCase{
+			Name:          name,
+			Disjuncts:     k,
+			SigmaSize:     len(sigma),
+			CoverSize:     len(warm.Cover),
+			FullRecompile: full,
+			Incremental:   inc,
+			Speedup:       float64(full) / float64(inc),
+			PairsCarried:  carry.PairsCarried,
+			EmptyCarried:  carry.EmptyCarried,
+		})
+	}
+	return out, nil
+}
+
+// IncrementalPatchDaemon runs the daemon segment in-process: register and
+// warm the k-disjunct workload over HTTP, PATCH a single-CFD removal into
+// the universe, and time the next /v1/cover against the cold one. The
+// PATCH response's carryover counters land in the report — the acceptance
+// signal that the HTTP path migrates the memo rather than restarting cold.
+func IncrementalPatchDaemon(c Config, k int) (*IncrementalPatch, error) {
+	c = c.Defaults()
+	ctx := c.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	const nAttrs = 6
+	db, view, sigma := incrementalWorkload(k, nAttrs)
+	data, err := spec.Encode(db, sigma, view)
+	if err != nil {
+		return nil, err
+	}
+	var p spec.Problem
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+
+	srv := daemon.New(daemon.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := &daemon.Client{Base: hs.URL}
+	name := fmt.Sprintf("daemon-patch/k=%d", k)
+
+	start := time.Now()
+	cov, err := client.Cover(ctx, &daemon.CoverRequest{Spec: &p, Parallelism: 1})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s cold cover: %w", name, err)
+	}
+	cold := time.Since(start)
+
+	victim := sigma[nAttrs-2]
+	patched, err := client.PatchSigma(ctx, cov.Universe, &daemon.SigmaPatchRequest{
+		Remove: []string{victim.String()},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s patch: %w", name, err)
+	}
+	if patched.Carried.PairsCarried == 0 {
+		return nil, fmt.Errorf("bench %s: PATCH carried no pair verdicts: %+v", name, patched.Carried)
+	}
+
+	start = time.Now()
+	cov2, err := client.Cover(ctx, &daemon.CoverRequest{Universe: patched.Universe, Parallelism: 1})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s patched cover: %w", name, err)
+	}
+	warm := time.Since(start)
+	if cov2.Cached {
+		return nil, fmt.Errorf("bench %s: post-patch cover was a cache hit; the edit did not invalidate", name)
+	}
+	return &IncrementalPatch{
+		Name:         name,
+		ColdCover:    cold,
+		PatchedCover: warm,
+		Speedup:      float64(cold) / float64(warm),
+		Carried:      patched.Carried,
+	}, nil
+}
+
+// PrintIncremental renders the edit-ablation table and the daemon segment.
+func PrintIncremental(w io.Writer, cases []IncrementalCase, patch *IncrementalPatch) {
+	fmt.Fprintf(w, "\n== incremental Σ edits vs full recompile (parallelism=1) ==\n")
+	fmt.Fprintf(w, "%-18s %6s %8s %8s %14s %14s %8s %10s\n",
+		"case", "k", "|Sigma|", "|cover|", "full", "incremental", "speedup", "carried")
+	for _, cs := range cases {
+		fmt.Fprintf(w, "%-18s %6d %8d %8d %14s %14s %7.2fx %10d\n",
+			cs.Name, cs.Disjuncts, cs.SigmaSize, cs.CoverSize,
+			cs.FullRecompile.Round(time.Microsecond), cs.Incremental.Round(time.Microsecond),
+			cs.Speedup, cs.PairsCarried+cs.EmptyCarried)
+	}
+	if patch != nil {
+		fmt.Fprintf(w, "%s: cold cover %s, post-PATCH cover %s (%.2fx), carried pairs=%d empty=%d\n",
+			patch.Name, patch.ColdCover.Round(time.Microsecond), patch.PatchedCover.Round(time.Microsecond),
+			patch.Speedup, patch.Carried.PairsCarried, patch.Carried.EmptyCarried)
+	}
+}

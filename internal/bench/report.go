@@ -56,6 +56,12 @@ type Report struct {
 	Parallel   []ParallelCase   `json:"parallel,omitempty"`
 	Factorised []FactorisedCase `json:"factorised,omitempty"`
 	Stream     *StreamCase      `json:"stream,omitempty"`
+
+	// Incremental is the Σ-edit ablation (warm CoverSession vs full
+	// recompile); IncrementalPatch is its daemon PATCH segment with the
+	// memo-carryover counters.
+	Incremental      []IncrementalCase `json:"incremental,omitempty"`
+	IncrementalPatch *IncrementalPatch `json:"incremental_patch,omitempty"`
 }
 
 // WriteJSON emits the report as indented JSON.

@@ -5,6 +5,13 @@
 // selection condition and the domain-constraint CFDs of Σ), EQ2CFD
 // (Fig. 4) and RBR, reduction by resolution (Fig. 3, extending Gottlob's
 // algorithm for embedded FDs to CFDs).
+//
+// Beyond the one-shot PropCFDSPC/PropCFDSPCU entry points, CoverSession
+// keeps one (db, view) pair compiled across a stream of Σ revisions:
+// consecutive Cover calls diff the incoming Σ against the last one
+// (propagation.DiffSigma), migrate the pair memo across the edit, and
+// re-certify only what the delta could have changed — the incremental path
+// the daemon's PATCH sigma endpoint is built on.
 package core
 
 import (

@@ -97,21 +97,8 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 	if err != nil {
 		return nil, err
 	}
-	blockSize := opts.RBRBlockSize
-	if blockSize == 0 {
-		blockSize = DefaultRBRBlockSize
-	}
-	par := opts.Parallelism
-	if par == 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par < 1 {
-		par = 1
-	}
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	par := optParallelism(opts)
+	ctx := optContext(opts)
 
 	// Line 1: Σ := MinCover(Σ), per source relation.
 	sigma = cfd.NormalizeAll(sigma)
@@ -121,6 +108,43 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 			return nil, err
 		}
 	}
+	return propSPCTail(db, view, viewSchema, sigma, opts, nil)
+}
+
+// optParallelism resolves Options.Parallelism to an effective worker count.
+func optParallelism(opts Options) int {
+	par := opts.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par < 1 {
+		par = 1
+	}
+	return par
+}
+
+// optContext resolves Options.Context, defaulting to Background.
+func optContext(opts Options) context.Context {
+	if opts.Context != nil {
+		return opts.Context
+	}
+	return context.Background()
+}
+
+// propSPCTail runs Fig. 2 lines 2-13 over an already-covered Σ (the line 1
+// output). It is shared by the one-shot PropCFDSPC and the incremental
+// CoverSession: the tail is a pure function of (db, view, sigma, opts), so
+// replaying it over an unchanged sigma reproduces the cover byte for byte.
+// finalSess, when non-nil, supplies a warm implication session for the
+// final MinCover — its output is deterministic in (universe, input) and
+// identical to the session/pool the one-shot path builds.
+func propSPCTail(db *rel.DBSchema, view *algebra.SPC, viewSchema *rel.Schema, sigma []*cfd.CFD, opts Options, finalSess *implication.Session) (*Result, error) {
+	blockSize := opts.RBRBlockSize
+	if blockSize == 0 {
+		blockSize = DefaultRBRBlockSize
+	}
+	par := optParallelism(opts)
+	ctx := optContext(opts)
 
 	// Lines 5-6 (done before ComputeEQ, which consumes the renamed CFDs):
 	// handle the Cartesian product by renaming every source CFD along each
@@ -191,13 +215,16 @@ func PropCFDSPC(db *rel.DBSchema, view *algebra.SPC, sigma []*cfd.CFD, opts Opti
 	// Line 13: return MinCover(Σc ∪ Σd).
 	all := cfd.Dedup(append(append([]*cfd.CFD{}, sigmaC...), sigmaD...))
 	if !opts.SkipFinalMinCover {
-		u := implication.UniverseOf(viewSchema)
-		if par > 1 {
-			pool := implication.NewPool(u, par)
+		switch {
+		case finalSess != nil:
+			finalSess.SetContext(ctx)
+			all, err = finalSess.MinCover(all)
+		case par > 1:
+			pool := implication.NewPool(implication.UniverseOf(viewSchema), par)
 			pool.SetContext(ctx)
 			all, err = pool.MinCover(all)
-		} else {
-			sess := implication.NewSession(u)
+		default:
+			sess := implication.NewSession(implication.UniverseOf(viewSchema))
 			sess.SetContext(ctx)
 			all, err = sess.MinCover(all)
 		}

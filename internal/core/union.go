@@ -49,6 +49,10 @@ func PropCFDSPCU(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, opts Op
 	if db.HasFiniteAttr() && !opts.AllowFiniteDomains {
 		return nil, fmt.Errorf("core: schema has finite-domain attributes; §4 assumes their absence (set Options.AllowFiniteDomains to force)")
 	}
+	if err := cfd.ValidateAll(sigma, db); err != nil {
+		return nil, err
+	}
+	sigmaN := cfd.NormalizeAll(sigma)
 
 	// Candidate pool from the per-disjunct exact covers.
 	var candidates []*cfd.CFD
@@ -98,8 +102,10 @@ func PropCFDSPCU(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, opts Op
 	}
 	var kept []*cfd.CFD
 	var memoHits, memoMisses int
+	// The inputs were validated once above (the candidates are covers over
+	// the view schema by construction), so each check skips re-validation.
 	for _, c := range candidates {
-		r, err := propagation.Check(db, view, sigma, c, propagation.Options{Parallelism: opts.Parallelism, Context: opts.Context, Memo: memo})
+		r, err := propagation.Check(db, view, sigmaN, c, propagation.Options{Parallelism: opts.Parallelism, Context: opts.Context, Memo: memo, Prevalidated: true})
 		if err != nil {
 			return nil, err
 		}

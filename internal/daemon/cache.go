@@ -34,19 +34,33 @@ type entry struct {
 	// memo caches §3 pair verdicts and disjunct emptiness across this
 	// universe's /v1/check and cover requests. A propagation.Memo is valid
 	// for exactly one (schema, Σ, V) — which is exactly what an entry pins
-	// down — so a Σ edit invalidates it by construction: editSigma builds a
-	// new entry with a fresh memo (generation + 1).
+	// down. A full Σ replacement (editSigma) invalidates it by construction
+	// — new entry, fresh memo; a Σ delta (patchSigma) instead migrates it:
+	// verdicts the edit provably cannot affect carry into the new entry.
 	memo *propagation.Memo
+	// carry reports what this entry's creating PATCH preserved (zero for
+	// entries not born from a patch).
+	carry propagation.CarryStats
 
 	mu sync.Mutex
 	// pool is the warm implication.Pool over the view schema, its Σ set to
 	// the memoized cover — the cross-query cache the /v1/implies fast path
 	// runs on. Created lazily by the first cover computation and closed
-	// (with an async drain) when the entry is evicted.
+	// (with an async drain) when the entry is evicted. patchSigma transfers
+	// it to the successor entry, which repairs its Σ with the cover delta
+	// (Pool.EditSigma) instead of a full recompile.
 	pool     *implication.Pool
 	poolSize int
 	cover    *coverOutcome
-	closed   bool
+	// prevCover is the transferred pool's current Σ (the pre-edit cover);
+	// the first ensureCover diffs the new cover against it to repair the
+	// pool in place.
+	prevCover *coverOutcome
+	// cs is the incremental cover session (bucket caches, warm implication
+	// sessions, migrated memo); patchSigma transfers it so a post-edit
+	// cover repairs the per-relation MinCovers instead of recomputing them.
+	cs     *core.CoverSession
+	closed bool
 }
 
 // coverOutcome unifies the SPC (core.Result) and SPCU (core.UnionResult)
@@ -120,6 +134,91 @@ func (e *entry) editSigma(cfds []string) (*entry, error) {
 	}, nil
 }
 
+// patchSigma derives the successor entry of a Σ delta (PATCH): parse and
+// apply add/remove against the current Σ (removals match by normalized
+// form; a removal absent from Σ is an error before any state changes),
+// migrate the memo so verdicts the edit cannot affect carry forward, and
+// transfer the warm pool and cover session to the new entry. The old entry
+// is closed — in-flight requests on it answer 503 + Retry-After and the
+// retry resolves the new fingerprint.
+func (e *entry) patchSigma(add, remove []string) (*entry, propagation.CarryStats, error) {
+	parse := func(srcs []string) ([]*cfd.CFD, error) {
+		out := make([]*cfd.CFD, 0, len(srcs))
+		for _, src := range srcs {
+			c, err := cfd.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("cfd %q: %w", src, err)
+			}
+			out = append(out, c)
+		}
+		return out, nil
+	}
+	adds, err := parse(add)
+	if err != nil {
+		return nil, propagation.CarryStats{}, err
+	}
+	removes, err := parse(remove)
+	if err != nil {
+		return nil, propagation.CarryStats{}, err
+	}
+	if err := cfd.ValidateAll(adds, e.db); err != nil {
+		return nil, propagation.CarryStats{}, err
+	}
+
+	next := append([]*cfd.CFD(nil), cfd.NormalizeAll(e.sigma)...)
+	removesN := cfd.NormalizeAll(removes)
+	for _, r := range removesN {
+		rs := r.String()
+		found := -1
+		for i, c := range next {
+			if c.String() == rs {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, propagation.CarryStats{}, fmt.Errorf("remove: %s is not in Σ", rs)
+		}
+		next = append(next[:found:found], next[found+1:]...)
+	}
+	addsN := cfd.NormalizeAll(adds)
+	next = append(next, addsN...)
+
+	canonical, err := spec.Encode(e.db, next, e.view)
+	if err != nil {
+		return nil, propagation.CarryStats{}, err
+	}
+	sum := sha256.Sum256(canonical)
+
+	memo, st := e.memo.Migrate(e.view, propagation.EditSet{AddedSigma: addsN, RemovedSigma: removesN})
+
+	// Transfer the warm state; the old entry stops serving.
+	e.mu.Lock()
+	pool, cs, prev := e.pool, e.cs, e.cover
+	e.pool, e.cs = nil, nil
+	e.closed = true
+	e.mu.Unlock()
+
+	fresh := &entry{
+		fp:        hex.EncodeToString(sum[:8]),
+		gen:       e.gen + 1,
+		db:        e.db,
+		sigma:     next,
+		view:      e.view,
+		vs:        e.vs,
+		memo:      memo,
+		carry:     st,
+		poolSize:  e.poolSize,
+		pool:      pool,
+		prevCover: prev,
+		cs:        cs,
+	}
+	if cs != nil {
+		cs.RebaseMemo(memo, next)
+	}
+	return fresh, st, nil
+}
+
 // ensureCover returns the entry's minimal cover, computing and memoizing
 // it (and warming the pool with it) on first need. Callers pass
 // parallelism for the computation only; the memoized result is identical
@@ -138,13 +237,29 @@ func (e *entry) ensureCover(ctx context.Context, parallelism int) (out *coverOut
 	if err != nil {
 		return nil, false, err
 	}
+	// A pool transferred by patchSigma still holds the pre-edit cover as
+	// its Σ; repair it with the cover delta so its shards replay a small
+	// edit instead of recompiling from scratch.
+	transferred := e.pool != nil && e.prevCover != nil
 	if e.pool == nil {
 		e.pool = implication.NewPool(implication.UniverseOf(e.vs), e.poolSize)
 	}
-	// AlwaysEmpty covers hold Lemma 4.5's conflicting pair — a legitimate
-	// Σ for the pool (every view CFD is vacuously implied).
-	if err := e.pool.SetSigma(out.cover); err != nil {
-		return nil, false, err
+	warmed := false
+	if transferred {
+		edit := propagation.DiffSigma(e.prevCover.cover, out.cover)
+		if edit.Empty() {
+			warmed = true // the edit did not change the cover
+		} else if e.pool.EditSigma(edit.AddedSigma, edit.RemovedSigma) == nil {
+			warmed = true
+		}
+	}
+	e.prevCover = nil
+	if !warmed {
+		// AlwaysEmpty covers hold Lemma 4.5's conflicting pair — a
+		// legitimate Σ for the pool (every view CFD is vacuously implied).
+		if err := e.pool.SetSigma(out.cover); err != nil {
+			return nil, false, err
+		}
 	}
 	e.cover = out
 	return out, false, nil
@@ -162,17 +277,44 @@ func (e *entry) coverWith(ctx context.Context, parallelism, maxCoverSize int) (*
 	return e.coverLocked(ctx, parallelism, maxCoverSize)
 }
 
-// coverLocked runs the cover computation for this universe.
+// coverLocked runs the cover computation for this universe through the
+// entry's incremental CoverSession (created on first need, transferred
+// across Σ patches). Heuristic covers (maxCoverSize > 0) bypass the
+// session: they are never memoized and must not pollute its caches.
 func (e *entry) coverLocked(ctx context.Context, parallelism, maxCoverSize int) (*coverOutcome, error) {
-	opts := core.Options{Context: ctx, Parallelism: parallelism, MaxCoverSize: maxCoverSize, Memo: e.memo}
+	if maxCoverSize > 0 {
+		opts := core.Options{Context: ctx, Parallelism: parallelism, MaxCoverSize: maxCoverSize, Memo: e.memo}
+		if len(e.view.Disjuncts) == 1 {
+			res, err := core.PropCFDSPC(e.db, e.view.Disjuncts[0], e.sigma, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &coverOutcome{cover: res.Cover, alwaysEmpty: res.AlwaysEmpty, truncated: res.Truncated}, nil
+		}
+		res, err := core.PropCFDSPCU(e.db, e.view, e.sigma, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &coverOutcome{cover: res.Cover}, nil
+	}
+	if e.cs == nil {
+		cs, err := core.NewCoverSession(e.db, e.view, core.Options{Parallelism: parallelism})
+		if err != nil {
+			return nil, err
+		}
+		// Share the entry memo: carried verdicts from a PATCH replay here,
+		// and cover-time verdicts serve later /v1/check requests.
+		cs.SetMemo(e.memo)
+		e.cs = cs
+	}
 	if len(e.view.Disjuncts) == 1 {
-		res, err := core.PropCFDSPC(e.db, e.view.Disjuncts[0], e.sigma, opts)
+		res, err := e.cs.CoverDisjunct(ctx, 0, e.sigma)
 		if err != nil {
 			return nil, err
 		}
 		return &coverOutcome{cover: res.Cover, alwaysEmpty: res.AlwaysEmpty, truncated: res.Truncated}, nil
 	}
-	res, err := core.PropCFDSPCU(e.db, e.view, e.sigma, opts)
+	res, err := e.cs.Cover(ctx, e.sigma)
 	if err != nil {
 		return nil, err
 	}
@@ -229,9 +371,23 @@ type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// HitRate is Hits/(Hits+Misses); 0 with no traffic.
+	HitRate float64 `json:"hit_rate"`
 	// Memo aggregates the §3 pair-verdict memo counters over the live
 	// entries (evicted entries take their memo with them).
 	Memo propagation.MemoStats `json:"memo"`
+	// MemoHitRate and MemoEmptyHitRate are the aggregated memo's pair-
+	// verdict and disjunct-emptiness replay rates (hits over lookups).
+	MemoHitRate      float64 `json:"memo_hit_rate"`
+	MemoEmptyHitRate float64 `json:"memo_empty_hit_rate"`
+}
+
+// rate is a safe hits/(hits+misses); 0 when there was no traffic.
+func rate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 // cache is the LRU of compiled universes, keyed by (Σ, V) fingerprint.
@@ -349,6 +505,13 @@ func (c *cache) stats() CacheStats {
 		st.Memo.Disjuncts += m.Disjuncts
 		st.Memo.Hits += m.Hits
 		st.Memo.Misses += m.Misses
+		st.Memo.EmptyHits += m.EmptyHits
+		st.Memo.EmptyMisses += m.EmptyMisses
+		st.Memo.CarriedPairs += m.CarriedPairs
+		st.Memo.CarriedEmpty += m.CarriedEmpty
 	}
+	st.HitRate = rate(st.Hits, st.Misses)
+	st.MemoHitRate = rate(st.Memo.Hits, st.Memo.Misses)
+	st.MemoEmptyHitRate = rate(st.Memo.EmptyHits, st.Memo.EmptyMisses)
 	return st
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
@@ -15,9 +16,9 @@ import (
 // `propcfd -server` and the integration smoke. It retries exactly the
 // answers the degradation contract marks retryable — 429 (shed) and 503
 // (draining / evicted mid-request) — honoring Retry-After when present and
-// doubling a base backoff otherwise. Everything else, including 500 from
-// an isolated panic, returns immediately: a deterministic computation that
-// panicked once will panic again.
+// backing off with decorrelated jitter otherwise. Everything else,
+// including 500 from an isolated panic, returns immediately: a
+// deterministic computation that panicked once will panic again.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:7419".
 	Base string
@@ -26,8 +27,12 @@ type Client struct {
 	// MaxRetries bounds retryable re-attempts (default 4; total tries =
 	// MaxRetries + 1).
 	MaxRetries int
-	// Backoff is the first retry delay, doubled per attempt (default
-	// 100ms). A Retry-After header overrides the computed delay.
+	// Backoff seeds the retry delay (default 100ms). Waits are drawn with
+	// decorrelated jitter — uniform in [Backoff, 3×previous wait], capped
+	// at 30×Backoff — so a fleet of clients shed at the same instant
+	// spreads its retries out instead of re-arriving in lockstep, while
+	// the expected wait still grows geometrically. A Retry-After header
+	// overrides the draw (and reseeds the growth from the server's hint).
 	Backoff time.Duration
 }
 
@@ -91,6 +96,16 @@ func (c *Client) EditSigma(ctx context.Context, fp string, req *SigmaRequest) (*
 	return &resp, nil
 }
 
+// PatchSigma runs a PATCH /v1/universe/{fp}/sigma request — the delta form
+// of EditSigma that keeps the universe's warm state.
+func (c *Client) PatchSigma(ctx context.Context, fp string, req *SigmaPatchRequest) (*SigmaPatchResponse, error) {
+	var resp SigmaPatchResponse
+	if err := c.do(ctx, http.MethodPatch, "/v1/universe/"+fp+"/sigma", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Ready polls /readyz once.
 func (c *Client) Ready(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
@@ -119,6 +134,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 
 	var lastErr error
+	var prev time.Duration // last wait, seeds the next jitter draw
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
 		if err != nil {
@@ -128,7 +144,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			req.Header.Set("Content-Type", "application/json")
 		}
 
-		delay := backoff << attempt
+		serverHint := time.Duration(0)
 		resp, err := httpc.Do(req)
 		if err != nil {
 			// Connection-level failure: the daemon may still be starting or
@@ -155,14 +171,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 				return serr
 			}
 			lastErr = serr
-			if ra := retryAfter(resp.Header); ra > 0 {
-				delay = ra
-			}
+			serverHint = retryAfter(resp.Header)
 		}
 
 		if attempt >= retries {
 			return fmt.Errorf("daemon: giving up after %d attempts: %w", attempt+1, lastErr)
 		}
+		delay := nextDelay(backoff, prev)
+		if serverHint > 0 {
+			delay = serverHint
+		}
+		prev = delay
 		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
@@ -171,6 +190,24 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		case <-t.C:
 		}
 	}
+}
+
+// nextDelay draws one decorrelated-jitter wait: uniform in
+// [base, 3×prev], capped at 30×base. The first retry (prev = 0) waits
+// exactly base; each subsequent draw can triple, so the expected wait
+// grows geometrically while the randomness decorrelates a fleet of
+// clients that were all shed at the same instant.
+func nextDelay(base, prev time.Duration) time.Duration {
+	hi := 3 * prev
+	if hi <= base {
+		return base
+	}
+	maxDelay := 30 * base
+	d := base + rand.N(hi-base+1)
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return d
 }
 
 // retryAfter parses the delay-seconds form of Retry-After (the only form

@@ -421,3 +421,136 @@ func TestSigmaEditCrashSchedules(t *testing.T) {
 	}
 }
 
+// TestSigmaPatchCrashSchedules injects faults at the Σ-edit seam
+// (faultinject.SiteSigmaEdit fires in the PATCH handler before any state
+// transfer, and again inside Pool.EditSigma when the transferred pool is
+// repaired) while PATCHes race warm-pool queries. Invariants: a failed
+// patch leaves the old universe fully serving; a successful patch serves
+// the new Σ (and only it); the transferred pool never leaks shards even
+// when its in-place repair panics mid-flight.
+func TestSigmaPatchCrashSchedules(t *testing.T) {
+	defer faultinject.Reset()
+	problem := mustProblem(t, unionSpecJSON)
+
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(9000 + seed))
+		srv, hs := newTestServer(t, Config{MaxInFlight: 4, MaxQueue: 4})
+
+		// Register and warm: the cover builds the pool and memo the patch
+		// will transfer.
+		var u CoverResponse
+		{
+			data, _ := json.Marshal(&CoverRequest{Spec: problem})
+			resp, err := http.Post(hs.URL+"/v1/cover", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&u); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+
+		r := faultinject.Rule{
+			Site: faultinject.SiteSigmaEdit,
+			Nth:  int64(1 + rng.Intn(2)),
+			Act:  faultinject.Panic,
+		}
+		if rng.Intn(2) == 0 {
+			r.Act = faultinject.Delay
+			r.Delay = time.Duration(rng.Intn(100)) * time.Microsecond
+		}
+		faultinject.Install(r)
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			data, _ := json.Marshal(&ImpliesRequest{Universe: u.Universe, Phi: "V(A -> B)"})
+			resp, err := http.Post(hs.URL+"/v1/implies", "application/json", bytes.NewReader(data))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+		var patchedFP string
+		go func() {
+			defer wg.Done()
+			// Removing R1(B -> C) flips the guarded V([CC=1, A] -> [C])
+			// from propagated to not.
+			body := strings.NewReader(`{"remove": ["R1(B -> C)"]}`)
+			req, err := http.NewRequest(http.MethodPatch, hs.URL+"/v1/universe/"+u.Universe+"/sigma", body)
+			if err != nil {
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var patched SigmaPatchResponse
+				if json.NewDecoder(resp.Body).Decode(&patched) == nil {
+					patchedFP = patched.Universe
+				}
+			}
+		}()
+		wg.Wait()
+		faultinject.Reset()
+
+		if patchedFP != "" {
+			// The patch won: the successor must serve the edited Σ.
+			code, got, err := checkBytes(hs, &CheckRequest{Universe: patchedFP, Phi: "V([CC=1, A] -> [C])"})
+			if err != nil || code != http.StatusOK {
+				t.Fatalf("seed %d: patched universe unusable: %d %v", seed, code, err)
+			}
+			if bytes.Contains(got, []byte(`"propagated":true`)) {
+				t.Fatalf("seed %d: stale Σ served after patch: %s", seed, got)
+			}
+			resp, err := http.Get(hs.URL + "/v1/universe/" + u.Universe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("seed %d: old fingerprint survived the patch: %d", seed, resp.StatusCode)
+			}
+			// Some seeds panic the transferred pool's in-place repair too:
+			// the cover retry after the fault clears must still succeed.
+			if rng.Intn(2) == 0 {
+				faultinject.Install(faultinject.Rule{Site: faultinject.SiteSigmaEdit, Nth: 1, Act: faultinject.Panic})
+			}
+			data, _ := json.Marshal(&CoverRequest{Universe: patchedFP})
+			resp, err = http.Post(hs.URL+"/v1/cover", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			faultinject.Reset()
+			resp, err = http.Post(hs.URL+"/v1/cover", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cov CoverResponse
+			if err := json.NewDecoder(resp.Body).Decode(&cov); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || len(cov.Cover) == 0 {
+				t.Fatalf("seed %d: cover after patch (and cleared faults) broken: %d %+v", seed, resp.StatusCode, cov)
+			}
+		} else {
+			// The patch lost to an injected fault: the original universe is
+			// intact and still serves its warm cover.
+			code, got, err := checkBytes(hs, &CheckRequest{Universe: u.Universe, Phi: "V([CC=1, A] -> [C])"})
+			if err != nil || code != http.StatusOK {
+				t.Fatalf("seed %d: original universe corrupted after failed patch: %d %v", seed, code, err)
+			}
+			if !bytes.Contains(got, []byte(`"propagated":true`)) {
+				t.Fatalf("seed %d: original Σ lost after failed patch: %s", seed, got)
+			}
+		}
+		assertPoolsWhole(t, srv, fmt.Sprintf("seed %d", seed))
+		hs.Close()
+	}
+}
+

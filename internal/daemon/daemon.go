@@ -15,6 +15,15 @@
 //     every other request keep running.
 //   - Graceful drain: BeginDrain flips readiness and refuses new work with
 //     503 + Retry-After while in-flight requests complete.
+//
+// Incremental Σ edits: PUT /v1/universe/{fp}/sigma replaces a registered
+// universe's Σ and recompiles it cold, while PATCH applies an add/remove
+// delta and keeps the warm state — the implication pool catches up through
+// its delta log and the propagation memo migrates across the edit, so the
+// next cover request replays every pair verdict the edit could not have
+// changed. The response reports the carry-over (pairs/empty entries
+// carried and dropped). /statusz exposes per-endpoint latency histograms
+// with interpolated p50/p95/p99 plus cache and memo hit rates.
 package daemon
 
 import (
@@ -111,12 +120,13 @@ func (c Config) withDefaults() Config {
 // to an http.Server; on SIGTERM call BeginDrain, then http.Server.Shutdown
 // for the in-flight completions.
 type Server struct {
-	cfg    Config
-	adm    *admission
-	cache  *cache
-	mux    *http.ServeMux
-	ready  atomic.Bool
-	panics atomic.Int64
+	cfg     Config
+	adm     *admission
+	cache   *cache
+	metrics *metrics
+	mux     *http.ServeMux
+	ready   atomic.Bool
+	panics  atomic.Int64
 }
 
 // New builds a Server ready to serve.
@@ -126,22 +136,37 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
 		cache: newCache(cfg.CacheSize, cfg.PoolSize, cfg.DrainWait),
-		mux:   http.NewServeMux(),
+		metrics: newMetrics("healthz", "readyz", "statusz", "check", "cover",
+			"implies", "universe_register", "universe_get", "sigma_put", "sigma_patch"),
+		mux: http.NewServeMux(),
 	}
 	s.ready.Store(true)
 
 	// Probes and stats bypass admission: they must answer while saturated.
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.Handle("GET /healthz", s.timed("healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /readyz", s.timed("readyz", http.HandlerFunc(s.handleReadyz)))
+	s.mux.Handle("GET /statusz", s.timed("statusz", http.HandlerFunc(s.handleStatusz)))
 
-	s.mux.Handle("POST /v1/check", s.compute(s.handleCheck))
-	s.mux.Handle("POST /v1/cover", s.compute(s.handleCover))
-	s.mux.Handle("POST /v1/implies", s.compute(s.handleImplies))
-	s.mux.Handle("POST /v1/universe", s.compute(s.handleUniverseRegister))
-	s.mux.HandleFunc("GET /v1/universe/{fp}", s.handleUniverseGet)
-	s.mux.Handle("PUT /v1/universe/{fp}/sigma", s.compute(s.handleSigmaEdit))
+	s.mux.Handle("POST /v1/check", s.timed("check", s.compute(s.handleCheck)))
+	s.mux.Handle("POST /v1/cover", s.timed("cover", s.compute(s.handleCover)))
+	s.mux.Handle("POST /v1/implies", s.timed("implies", s.compute(s.handleImplies)))
+	s.mux.Handle("POST /v1/universe", s.timed("universe_register", s.compute(s.handleUniverseRegister)))
+	s.mux.Handle("GET /v1/universe/{fp}", s.timed("universe_get", http.HandlerFunc(s.handleUniverseGet)))
+	s.mux.Handle("PUT /v1/universe/{fp}/sigma", s.timed("sigma_put", s.compute(s.handleSigmaEdit)))
+	s.mux.Handle("PATCH /v1/universe/{fp}/sigma", s.timed("sigma_patch", s.compute(s.handleSigmaPatch)))
 	return s
+}
+
+// timed records the request's wall-clock latency under the endpoint's
+// /statusz histogram. It wraps outside compute, so queue wait and shed
+// answers are part of the measured distribution — the client-observed
+// latency, not just the handler's.
+func (s *Server) timed(name string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() { s.metrics.observe(name, time.Since(start)) }()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Handler returns the daemon's HTTP handler with panic isolation applied.
@@ -165,6 +190,10 @@ type Stats struct {
 	Admission AdmissionStats `json:"admission"`
 	Cache     CacheStats     `json:"cache"`
 	Panics    int64          `json:"panics"`
+	// Latency maps endpoint name → its latency histogram summary, measured
+	// around the whole request (admission queueing included). Endpoints
+	// with no traffic are omitted.
+	Latency map[string]LatencyStats `json:"latency,omitempty"`
 }
 
 func (s *Server) stats() Stats {
@@ -173,6 +202,7 @@ func (s *Server) stats() Stats {
 		Admission: s.adm.stats(),
 		Cache:     s.cache.stats(),
 		Panics:    s.panics.Load(),
+		Latency:   s.metrics.snapshot(),
 	}
 }
 
@@ -447,6 +477,47 @@ func (s *Server) handleSigmaEdit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, universeResponse(e))
+}
+
+// handleSigmaPatch applies a Σ delta in place: same universe chain (new
+// fingerprint, generation + 1) but with the memo migrated and the warm
+// pool + cover session transferred instead of starting cold.
+func (s *Server) handleSigmaPatch(w http.ResponseWriter, r *http.Request) {
+	var req SigmaPatchRequest
+	if !s.readBody(w, r, &req) {
+		return
+	}
+	if err := req.validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	old, ok := s.cache.lookup(r.PathValue("fp"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown universe %q", r.PathValue("fp")))
+		return
+	}
+	// The crash suite injects here: a panic before patchSigma leaves the
+	// old universe fully intact (validation precedes any state transfer).
+	faultinject.Hit(faultinject.SiteSigmaEdit)
+	fresh, carried, err := old.patchSigma(req.Add, req.Remove)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, err := s.cache.replace(old, fresh)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if e != fresh {
+		// A concurrent identical patch won the insert race; release the
+		// transferred pool our loser entry is holding.
+		fresh.close(s.cfg.DrainWait)
+	}
+	s.writeJSON(w, http.StatusOK, SigmaPatchResponse{
+		UniverseResponse: universeResponse(e),
+		Carried:          carried,
+	})
 }
 
 // ---- helpers ----

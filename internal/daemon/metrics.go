@@ -1,0 +1,138 @@
+package daemon
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the per-endpoint histogram upper bounds,
+// log-spaced from 1ms to 10s; an overflow bucket catches the rest. The
+// range covers everything the daemon answers, from cache-hit lookups to
+// MaxDeadline-bounded computations.
+var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram, lock-free on the
+// observation path (one atomic add per request).
+type histogram struct {
+	counts    []atomic.Int64 // len(latencyBucketsMs)+1, last = overflow
+	sumMicros atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBucketsMs)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumMicros.Add(d.Microseconds())
+}
+
+// LatencyStats is one endpoint's /statusz latency summary: request count,
+// mean, bucket-interpolated quantile estimates, and the histogram itself.
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	// Buckets maps "le_<bound>ms" (plus "le_inf") to per-bucket counts.
+	// Only occupied buckets appear.
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *histogram) snapshot() LatencyStats {
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	st := LatencyStats{Count: total}
+	if total == 0 {
+		return st
+	}
+	st.MeanMs = float64(h.sumMicros.Load()) / 1e3 / float64(total)
+	st.P50Ms = bucketQuantile(counts, total, 0.50)
+	st.P95Ms = bucketQuantile(counts, total, 0.95)
+	st.P99Ms = bucketQuantile(counts, total, 0.99)
+	st.Buckets = make(map[string]int64)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if i == len(latencyBucketsMs) {
+			st.Buckets["le_inf"] = c
+		} else {
+			st.Buckets[fmt.Sprintf("le_%gms", latencyBucketsMs[i])] = c
+		}
+	}
+	return st
+}
+
+// bucketQuantile estimates quantile q by linear interpolation within the
+// bucket the rank falls in; observations past the last bound report that
+// bound (the estimate saturates, it does not extrapolate).
+func bucketQuantile(counts []int64, total int64, q float64) float64 {
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		hi := latencyBucketsMs[len(latencyBucketsMs)-1]
+		if i < len(latencyBucketsMs) {
+			hi = latencyBucketsMs[i]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = latencyBucketsMs[i-1]
+		}
+		if i >= len(latencyBucketsMs) {
+			return hi // overflow bucket: saturate at the last bound
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return latencyBucketsMs[len(latencyBucketsMs)-1]
+}
+
+// metrics holds one histogram per endpoint. The endpoint set is fixed at
+// construction, so observation needs no lock around the map.
+type metrics struct {
+	endpoints map[string]*histogram
+}
+
+func newMetrics(names ...string) *metrics {
+	m := &metrics{endpoints: make(map[string]*histogram, len(names))}
+	for _, n := range names {
+		m.endpoints[n] = newHistogram()
+	}
+	return m
+}
+
+func (m *metrics) observe(name string, d time.Duration) {
+	if h := m.endpoints[name]; h != nil {
+		h.observe(d)
+	}
+}
+
+// snapshot returns the endpoints that saw traffic.
+func (m *metrics) snapshot() map[string]LatencyStats {
+	out := make(map[string]LatencyStats)
+	for n, h := range m.endpoints {
+		if st := h.snapshot(); st.Count > 0 {
+			out[n] = st
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantiles pins the bucket math: observations land in the
+// right buckets, the mean is exact, and the interpolated quantiles stay
+// inside the buckets their ranks fall in.
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 90; i++ {
+		h.observe(3 * time.Millisecond) // le_5ms bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(80 * time.Millisecond) // le_100ms bucket
+	}
+	st := h.snapshot()
+	if st.Count != 100 {
+		t.Fatalf("count %d, want 100", st.Count)
+	}
+	wantMean := (90*3.0 + 10*80.0) / 100
+	if st.MeanMs < wantMean-0.1 || st.MeanMs > wantMean+0.1 {
+		t.Errorf("mean %.3f, want ≈%.1f", st.MeanMs, wantMean)
+	}
+	if st.P50Ms < 2 || st.P50Ms > 5 {
+		t.Errorf("p50 %.3f outside (2, 5]", st.P50Ms)
+	}
+	if st.P95Ms < 50 || st.P95Ms > 100 {
+		t.Errorf("p95 %.3f outside (50, 100]", st.P95Ms)
+	}
+	if st.Buckets["le_5ms"] != 90 || st.Buckets["le_100ms"] != 10 {
+		t.Errorf("buckets: %+v", st.Buckets)
+	}
+
+	// Overflow observations saturate at the last bound instead of
+	// extrapolating.
+	o := newHistogram()
+	o.observe(time.Minute)
+	so := o.snapshot()
+	if so.Buckets["le_inf"] != 1 {
+		t.Errorf("overflow bucket: %+v", so.Buckets)
+	}
+	if so.P99Ms != latencyBucketsMs[len(latencyBucketsMs)-1] {
+		t.Errorf("overflow p99 %.1f, want %.1f", so.P99Ms, latencyBucketsMs[len(latencyBucketsMs)-1])
+	}
+}
+
+// TestStatuszLatencyAndRates: after real traffic, /statusz carries
+// per-endpoint latency summaries and the cache/memo hit-rate fields.
+func TestStatuszLatencyAndRates(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	problem := mustProblem(t, exampleSpecJSON)
+	req := &CheckRequest{Spec: problem, Phi: "R([CC=44, zip] -> [street])", Parallelism: 1}
+	for i := 0; i < 2; i++ {
+		if code, _, body := post(t, hs.URL+"/v1/check", nil, req); code != http.StatusOK {
+			t.Fatalf("check: status %d: %s", code, body)
+		}
+	}
+
+	code, body := get(t, hs.URL+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz: status %d: %s", code, body)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	lat, ok := st.Latency["check"]
+	if !ok || lat.Count != 2 {
+		t.Fatalf("check latency not recorded: %+v", st.Latency)
+	}
+	if lat.MeanMs <= 0 || lat.P50Ms <= 0 || len(lat.Buckets) == 0 {
+		t.Errorf("degenerate latency summary: %+v", lat)
+	}
+	if _, ok := st.Latency["cover"]; ok {
+		t.Error("cover saw no traffic but appears in the latency map")
+	}
+	// The second check resolved the same spec fingerprint (a cache hit)
+	// and replayed every pair verdict from the memo.
+	if st.Cache.HitRate <= 0 || st.Cache.HitRate > 1 {
+		t.Errorf("cache hit rate %.3f outside (0, 1]", st.Cache.HitRate)
+	}
+	if st.Cache.MemoHitRate <= 0 || st.Cache.MemoHitRate > 1 {
+		t.Errorf("memo hit rate %.3f outside (0, 1]", st.Cache.MemoHitRate)
+	}
+}
+
+// TestNextDelayJitter pins the decorrelated-jitter envelope: the first
+// retry waits exactly base, later draws stay within [base, 3×prev] and
+// never exceed the 30×base cap.
+func TestNextDelayJitter(t *testing.T) {
+	base := 100 * time.Millisecond
+	if d := nextDelay(base, 0); d != base {
+		t.Fatalf("first draw %v, want %v", d, base)
+	}
+	prev := base
+	for i := 0; i < 200; i++ {
+		d := nextDelay(base, prev)
+		if d < base || d > 3*prev || d > 30*base {
+			t.Fatalf("draw %v violates [%v, min(%v, %v)]", d, base, 3*prev, 30*base)
+		}
+		prev = d
+	}
+	// The cap binds once prev is large.
+	if d := nextDelay(base, time.Hour); d > 30*base {
+		t.Fatalf("capped draw %v exceeds %v", d, 30*base)
+	}
+}

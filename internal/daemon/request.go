@@ -328,6 +328,32 @@ type SigmaRequest struct {
 	CFDs []string `json:"cfds"`
 }
 
+// SigmaPatchRequest applies a Σ delta to a registered universe (PATCH
+// /v1/universe/{fp}/sigma). Unlike the PUT replacement — which starts the
+// new universe cold — a patch migrates the verdict memo (entries the edit
+// provably cannot affect carry forward) and transfers the warm implication
+// pool and cover session, repairing them in place. Removals match Σ
+// members by normalized form; removing a CFD not in Σ is an error and the
+// universe is left untouched.
+type SigmaPatchRequest struct {
+	Add    []string `json:"add,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+}
+
+func (r *SigmaPatchRequest) validate() error {
+	if len(r.Add) == 0 && len(r.Remove) == 0 {
+		return errors.New("at least one of add and remove must be non-empty")
+	}
+	return nil
+}
+
+// SigmaPatchResponse answers PATCH /v1/universe/{fp}/sigma: the successor
+// universe plus the memo-carryover tallies of this edit's migration.
+type SigmaPatchResponse struct {
+	UniverseResponse
+	Carried propagation.CarryStats `json:"carried"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`

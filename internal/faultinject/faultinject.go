@@ -47,4 +47,9 @@ const (
 	// SiteStreamChunk fires once per chunk inside the streaming detector's
 	// mapper stage, before the chunk's σ/π work begins.
 	SiteStreamChunk = "stream.chunk"
+	// SiteSigmaEdit fires on the delta-edit paths: inside
+	// implication.Pool.EditSigma before the delta is validated, and inside
+	// the daemon's PATCH handler before the edited universe replaces the
+	// old cache entry.
+	SiteSigmaEdit = "sigma.edit"
 )

@@ -208,3 +208,69 @@ func TestPoolContextStampedOnBorrow(t *testing.T) {
 		t.Fatalf("Implies after clearing context = %v, %v; want true", ok, err)
 	}
 }
+
+// TestSessionResetAfterGeneralBudgetStopThenEdit: a chase-step budget that
+// runs dry inside ImpliesGeneral's factorised enumeration surfaces
+// chase.ErrStepBudget mid-query; Reset followed by delta edits
+// (RemoveCFD + AddCFD) must leave a session that answers ImpliesGeneral
+// exactly like one freshly compiled with the edited Σ — the aborted
+// enumeration leaves no residue in the pooled chase state, and Reset does
+// not resurrect the removal.
+func TestSessionResetAfterGeneralBudgetStopThenEdit(t *testing.T) {
+	stops := 0
+	for seed := int64(0); seed < 8; seed++ {
+		uni, sigma, phis := generalWorkload(seed)
+		cur := cfd.NormalizeAll(sigma)
+		sess := NewSession(uni)
+		if err := sess.SetSigma(cur); err != nil {
+			t.Fatalf("seed %d: SetSigma: %v", seed, err)
+		}
+
+		// Exhaust a 1-step budget mid-enumeration: enough to start the
+		// factorised chase, never enough to finish it.
+		var budget atomic.Int64
+		budget.Store(1)
+		sess.SetBudget(&budget)
+		for _, phi := range phis {
+			if _, err := sess.ImpliesGeneral(phi, 0); errors.Is(err, chase.ErrStepBudget) {
+				stops++
+				break
+			}
+		}
+
+		sess.Reset()
+		removed := cur[0]
+		if !sess.RemoveCFD(removed) {
+			t.Fatalf("seed %d: RemoveCFD(%s) = false for a member", seed, removed)
+		}
+		added := phis[0]
+		if err := sess.AddCFD(added); err != nil {
+			t.Fatalf("seed %d: AddCFD: %v", seed, err)
+		}
+		cur = append(cfd.NormalizeAll([]*cfd.CFD{added}), cur[1:]...)
+
+		fresh := NewSession(uni)
+		if err := fresh.SetSigma(cur); err != nil {
+			t.Fatalf("seed %d: fresh SetSigma: %v", seed, err)
+		}
+		for i, phi := range phis {
+			want, wantErr := fresh.ImpliesGeneral(phi, 0)
+			got, gotErr := sess.ImpliesGeneral(phi, 0)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed %d phi %d (%s): fresh err %v, edited err %v", seed, i, phi, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("seed %d phi %d: error mismatch %q vs %q", seed, i, wantErr, gotErr)
+				}
+				continue
+			}
+			if want != got {
+				t.Fatalf("seed %d phi %d (%s): fresh %v, edited %v\nΣ = %v", seed, i, phi, want, got, cur)
+			}
+		}
+	}
+	if stops == 0 {
+		t.Fatal("no seed exhausted the step budget; the recovery path was never exercised")
+	}
+}

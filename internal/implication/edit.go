@@ -1,0 +1,216 @@
+package implication
+
+import (
+	"fmt"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/faultinject"
+)
+
+// This file is the delta-edit layer: single-CFD additions and removals
+// that patch the compiled session (and the pool's shards) in place instead
+// of recompiling Σ from scratch. Additions splice the new CFD into the CSR
+// column index (session.indexAdd); removals set a permanent tombstone
+// (session.gone) that — unlike MinCover's transient dead mask — survives
+// Session.Reset, so a recovered session does not resurrect removed CFDs.
+// Every query path filters through session.alive, so an edited session
+// answers exactly as one freshly compiled with the edited Σ.
+
+// AddCFD normalizes and delta-compiles one CFD into the session's Σ.
+// Like SetSigma, a CFD on another relation is silently skipped. The
+// compiled Σ and column index are patched in place; nothing is recompiled.
+func (s *Session) AddCFD(c *cfd.CFD) error {
+	if err := s.inner.u.checkCFD(c); err != nil {
+		return err
+	}
+	s.poolDirty = true // a pool owner must recompile before reuse
+	for _, n := range c.Normalize() {
+		if err := s.inner.addCFD(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveCFD tombstones c in the session's Σ, matching each of c's normal
+// forms by String against the live compiled CFDs. It reports whether every
+// normal form was found; on a partial match nothing is removed. A CFD on
+// another relation reports false (it was never compiled).
+func (s *Session) RemoveCFD(c *cfd.CFD) bool {
+	s.poolDirty = true
+	in := s.inner
+	forms := c.Normalize()
+	marked := make([]int, 0, len(forms))
+	for _, n := range forms {
+		key := n.String()
+		found := -1
+		for i := range in.sigma {
+			if in.gone[i] || in.dead[i] {
+				continue
+			}
+			if in.sigma[i].c.String() == key {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			for _, i := range marked {
+				in.gone[i] = false
+			}
+			return false
+		}
+		in.gone[found] = true
+		marked = append(marked, found)
+	}
+	if len(marked) > 0 {
+		in.fp.dirty = true
+	}
+	return true
+}
+
+// maxPoolDeltaLog bounds the pool's edit log. A shard that fell more than
+// this many generations behind recompiles from scratch — the log is a
+// fast path for warm shards, not a history.
+const maxPoolDeltaLog = 64
+
+// poolDelta is one EditSigma generation: the normalized CFDs it added and
+// the String keys of the normalized CFDs it removed.
+type poolDelta struct {
+	gen    uint64
+	add    []*cfd.CFD
+	remove []string
+}
+
+// EditSigma applies a single Σ delta to the pool: remove the given CFDs
+// (matched by normalized String; an absent CFD is an error and leaves the
+// pool Σ unchanged) then add the given ones. Like SetSigma it validates
+// eagerly on one shard; the remaining shards catch up lazily on their next
+// Borrow by replaying the delta log (falling back to a full recompile when
+// they are too far behind). Each call bumps the Σ generation by one.
+func (p *Pool) EditSigma(add, remove []*cfd.CFD) error {
+	p.editMu.Lock()
+	defer p.editMu.Unlock()
+	if p.isClosed() {
+		return ErrPoolClosed
+	}
+	faultinject.Hit(faultinject.SiteSigmaEdit)
+
+	addN := cfd.NormalizeAll(add)
+	removeN := cfd.NormalizeAll(remove)
+	keys := make([]string, len(removeN))
+	for i, c := range removeN {
+		keys[i] = c.String()
+	}
+
+	// Compute the new pool Σ up front (multiset removal by String), so a
+	// missing removal fails before any shard is touched.
+	p.mu.Lock()
+	cur := p.sigma
+	p.mu.Unlock()
+	next := make([]*cfd.CFD, len(cur))
+	copy(next, cur)
+	for _, key := range keys {
+		found := -1
+		for i, c := range next {
+			if c.String() == key {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("implication: EditSigma: %s is not in the pool Σ", key)
+		}
+		next = append(next[:found], next[found+1:]...)
+	}
+	next = append(next, addN...)
+
+	// Validate the delta by applying it to one refreshed shard; the shard
+	// comes back dirty on any failure (including an injected panic), so the
+	// pool never holds a half-edited shard.
+	s := p.take()
+	if err := p.applyEditTo(s, addN, keys); err != nil {
+		s.poolDirty = true
+		p.sessions <- s
+		return err
+	}
+
+	p.mu.Lock()
+	p.sigma = next
+	p.gen++
+	gen := p.gen
+	p.deltas = append(p.deltas, poolDelta{gen: gen, add: addN, remove: keys})
+	if len(p.deltas) > maxPoolDeltaLog {
+		p.deltas = append(p.deltas[:0], p.deltas[len(p.deltas)-maxPoolDeltaLog:]...)
+	}
+	p.mu.Unlock()
+	s.poolGen = gen
+	s.poolDirty = false
+	p.sessions <- s
+	return nil
+}
+
+// applyEditTo refreshes a shard to the current generation and applies one
+// delta to it. A panic out of the edit (e.g. an injected fault) tags the
+// shard dirty, re-enqueues it, and re-raises — the pool never loses a
+// shard to a failed edit.
+func (p *Pool) applyEditTo(s *Session, add []*cfd.CFD, removeKeys []string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.poolDirty = true
+			p.sessions <- s
+			panic(r)
+		}
+	}()
+	if err := p.refresh(s); err != nil {
+		return err
+	}
+	return applyDelta(s, add, removeKeys)
+}
+
+// applyDelta patches one shard with a delta's removals then additions.
+// A removal key absent from the shard is skipped: the pool Σ keeps CFDs on
+// every relation while sessions compile only their own relation's, so an
+// other-relation removal legitimately has nothing to tombstone (membership
+// in the pool Σ was already enforced by EditSigma).
+func applyDelta(s *Session, add []*cfd.CFD, removeKeys []string) error {
+	for _, key := range removeKeys {
+		s.inner.removeCFDByString(key)
+	}
+	for _, c := range add {
+		if err := s.inner.addCFD(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deltasSince returns the contiguous run of logged deltas covering the
+// generations (from, to], or nil when the log no longer reaches back to
+// from (trimmed, or interrupted by a full SetSigma, which clears it).
+// Caller holds p.mu.
+func (p *Pool) deltasSince(from, to uint64) []poolDelta {
+	if len(p.deltas) == 0 || p.deltas[0].gen > from+1 {
+		return nil
+	}
+	lo := -1
+	for i := range p.deltas {
+		if p.deltas[i].gen == from+1 {
+			lo = i
+			break
+		}
+	}
+	if lo < 0 {
+		return nil
+	}
+	run := p.deltas[lo:]
+	if len(run) < int(to-from) {
+		return nil
+	}
+	run = run[:to-from]
+	for i := range run {
+		if run[i].gen != from+1+uint64(i) {
+			return nil
+		}
+	}
+	return run
+}

@@ -1,0 +1,301 @@
+package implication
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cfdprop/internal/cfd"
+	"cfdprop/internal/gen"
+)
+
+// editWorkload builds a universe, a CFD pool to edit from, and a φ battery.
+func editWorkload(seed int64) (Universe, []*cfd.CFD, []*cfd.CFD) {
+	rng := rand.New(rand.NewSource(seed))
+	db := gen.Schema(rng, gen.SchemaParams{NumRelations: 1, MinAttrs: 6, MaxAttrs: 9})
+	s := db.Relations()[0]
+	pool := gen.CFDs(rng, db, gen.CFDParams{Num: 30, LHSMin: 1, LHSMax: 4, VarPct: 50})
+	for i := 0; i < 3; i++ {
+		a := s.Attrs[rng.Intn(s.Arity())].Name
+		b := s.Attrs[rng.Intn(s.Arity())].Name
+		pool = append(pool, cfd.NewEquality(s.Name, a, b))
+	}
+	phis := gen.CFDs(rng, db, gen.CFDParams{Num: 25, LHSMin: 1, LHSMax: 3, VarPct: 50})
+	return UniverseOf(s), cfd.NormalizeAll(pool), cfd.NormalizeAll(phis)
+}
+
+// TestSessionEditMatchesFresh replays randomized add/remove scripts through
+// Session.AddCFD/RemoveCFD and checks, at every step, that the edited
+// session answers Implies exactly like a session freshly compiled with the
+// edited Σ — including across a Reset, which must not resurrect removals.
+func TestSessionEditMatchesFresh(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		u, pool, phis := editWorkload(seed)
+		rng := rand.New(rand.NewSource(seed + 1000))
+
+		sess := NewSession(u)
+		var cur []*cfd.CFD
+		// Start from a nonempty Σ.
+		for i := 0; i < 8; i++ {
+			c := pool[rng.Intn(len(pool))]
+			if err := sess.AddCFD(c); err != nil {
+				t.Fatal(err)
+			}
+			cur = append(cur, c)
+		}
+		for step := 0; step < 24; step++ {
+			if len(cur) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(cur))
+				c := cur[i]
+				if !sess.RemoveCFD(c) {
+					t.Fatalf("seed %d step %d: RemoveCFD(%s) = false for a member", seed, step, c)
+				}
+				cur = append(cur[:i], cur[i+1:]...)
+			} else {
+				c := pool[rng.Intn(len(pool))]
+				if err := sess.AddCFD(c); err != nil {
+					t.Fatal(err)
+				}
+				cur = append(cur, c)
+			}
+			if step == 12 {
+				sess.Reset() // must keep edits: gone survives, dead does not
+			}
+			fresh := NewSession(u)
+			if err := fresh.SetSigma(cur); err != nil {
+				t.Fatal(err)
+			}
+			for _, phi := range phis {
+				want, err := fresh.Implies(phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sess.Implies(phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("seed %d step %d: edited session says %v, fresh says %v for %s under %v",
+						seed, step, got, want, phi, cur)
+				}
+			}
+		}
+		// The cover of the edited Σ (MinCover recompiles internally, so this
+		// is the script's final state only).
+		wantCover, err := NewSession(u).MinCover(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCover, err := sess.MinCover(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantCover, gotCover) {
+			t.Fatalf("seed %d: MinCover after edits differs", seed)
+		}
+	}
+}
+
+// TestIndexAddMatchesRebuild proves the incremental CSR splice: after a
+// run of delta additions, the column index is byte-identical to a full
+// buildColIndex over the same compiled Σ.
+func TestIndexAddMatchesRebuild(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		u, pool, _ := editWorkload(seed)
+		rng := rand.New(rand.NewSource(seed + 2000))
+		sess := NewSession(u)
+		in := sess.inner
+		// Materialize the (empty-Σ) index, then splice additions into it.
+		in.buildColIndex()
+		for i := 0; i < 16; i++ {
+			if err := sess.AddCFD(pool[rng.Intn(len(pool))]); err != nil {
+				t.Fatal(err)
+			}
+			if in.idxDirty {
+				t.Fatalf("seed %d: addCFD left the index dirty", seed)
+			}
+			gotStart := append([]int32(nil), in.colStart...)
+			gotCFDs := append([]int32(nil), in.colCFDs...)
+			in.buildColIndex()
+			if !reflect.DeepEqual(gotStart, in.colStart) || !reflect.DeepEqual(gotCFDs, in.colCFDs) {
+				t.Fatalf("seed %d after %d adds: spliced index differs from rebuild\nstart %v vs %v\ncfds %v vs %v",
+					seed, i+1, gotStart, in.colStart, gotCFDs, in.colCFDs)
+			}
+		}
+	}
+}
+
+// TestRemoveCFDPartialRollsBack: a multi-RHS CFD removes atomically — when
+// one normal form is absent, no form is tombstoned.
+func TestRemoveCFDPartialRollsBack(t *testing.T) {
+	u, pool, _ := editWorkload(3)
+	var multi *cfd.CFD
+	for _, c := range pool {
+		if !c.Equality {
+			multi = c
+			break
+		}
+	}
+	if multi == nil {
+		t.Fatal("workload has no standard CFD")
+	}
+	// A two-form CFD whose second form is not in Σ.
+	two := multi.Clone()
+	two.RHS = append(append([]cfd.Item(nil), multi.RHS...), cfd.Item{Attr: u.Attrs[0].Name, Pat: cfd.Pattern{Wildcard: true}})
+	sess := NewSession(u)
+	if err := sess.AddCFD(multi); err != nil {
+		t.Fatal(err)
+	}
+	if len(two.Normalize()) < 2 {
+		t.Skip("normalization collapsed the two-form CFD")
+	}
+	if sess.RemoveCFD(two) {
+		t.Fatal("RemoveCFD succeeded though one normal form is absent")
+	}
+	for i := range sess.inner.gone {
+		if sess.inner.gone[i] {
+			t.Fatal("partial RemoveCFD left a tombstone behind")
+		}
+	}
+	if !sess.RemoveCFD(multi) {
+		t.Fatal("RemoveCFD failed for a member")
+	}
+}
+
+// TestPoolEditSigmaMatchesFresh drives a pool through an edit script with
+// lazily refreshing shards and checks every shard answers like a freshly
+// compiled pool; it also exercises the delta-log overflow fallback and the
+// SetSigma log reset.
+func TestPoolEditSigmaMatchesFresh(t *testing.T) {
+	u, pool, phis := editWorkload(5)
+	rng := rand.New(rand.NewSource(99))
+	p := NewPool(u, 3)
+	defer p.Close()
+
+	var cur []*cfd.CFD
+	for i := 0; i < 6; i++ {
+		cur = append(cur, pool[rng.Intn(len(pool))])
+	}
+	if err := p.SetSigma(cur); err != nil {
+		t.Fatal(err)
+	}
+	check := func(step int) {
+		t.Helper()
+		fresh := NewSession(u)
+		if err := fresh.SetSigma(cur); err != nil {
+			t.Fatal(err)
+		}
+		// Hold all three shards so each one refreshes through the delta log.
+		var shards []*Session
+		for i := 0; i < 3; i++ {
+			s, err := p.Borrow()
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards = append(shards, s)
+		}
+		for _, phi := range phis[:8] {
+			want, err := fresh.Implies(phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for si, s := range shards {
+				got, err := s.Implies(phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("step %d shard %d: pool says %v, fresh says %v for %s", step, si, got, want, phi)
+				}
+			}
+		}
+		for _, s := range shards {
+			p.Return(s)
+		}
+	}
+	check(-1)
+	for step := 0; step < 20; step++ {
+		var add, remove []*cfd.CFD
+		if len(cur) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(cur))
+			remove = []*cfd.CFD{cur[i]}
+			cur = append(cur[:i], cur[i+1:]...)
+		} else {
+			c := pool[rng.Intn(len(pool))]
+			add = []*cfd.CFD{c}
+			cur = append(cur, c)
+		}
+		if err := p.EditSigma(add, remove); err != nil {
+			t.Fatal(err)
+		}
+		if step%5 == 4 {
+			check(step)
+		}
+	}
+	check(20)
+
+	// Removing a CFD that is not in Σ fails and leaves the pool unchanged.
+	alien := cfd.NewEquality(u.Relation, u.Attrs[0].Name, u.Attrs[0].Name)
+	if err := p.EditSigma(nil, []*cfd.CFD{alien}); err == nil {
+		t.Fatal("EditSigma removing a non-member did not error")
+	}
+	check(21)
+
+	// SetSigma clears the delta log; shards still converge.
+	if err := p.SetSigma(cur); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EditSigma([]*cfd.CFD{pool[0]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cur = append(cur, pool[0])
+	check(22)
+}
+
+// TestPoolDeltaLogOverflow: a shard that lags more than maxPoolDeltaLog
+// generations behind falls back to a full recompile and still answers
+// identically.
+func TestPoolDeltaLogOverflow(t *testing.T) {
+	u, pool, phis := editWorkload(7)
+	p := NewPool(u, 2)
+	defer p.Close()
+	cur := []*cfd.CFD{pool[0]}
+	if err := p.SetSigma(cur); err != nil {
+		t.Fatal(err)
+	}
+	// Pin one shard at the initial generation while the log overflows.
+	lag, err := p.Borrow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxPoolDeltaLog+8; i++ {
+		c := pool[1+i%(len(pool)-1)]
+		if err := p.EditSigma([]*cfd.CFD{c}, nil); err != nil {
+			t.Fatal(err)
+		}
+		cur = append(cur, c)
+	}
+	p.Return(lag)
+	fresh := NewSession(u)
+	if err := fresh.SetSigma(cur); err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Borrow() // must recompile: log no longer reaches back
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Return(s)
+	for _, phi := range phis[:10] {
+		want, err := fresh.Implies(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Implies(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("lagged shard says %v, fresh says %v for %s", got, want, phi)
+		}
+	}
+}

@@ -38,11 +38,17 @@ type Pool struct {
 	sessions chan *Session
 	size     int
 
+	// editMu serializes Σ mutations (SetSigma, EditSigma) so a validation
+	// shard always sees the generation its edit builds on; p.mu alone only
+	// guards the field reads.
+	editMu sync.Mutex
+
 	mu      sync.Mutex
-	sigma   []*cfd.CFD // normalized pool Σ (nil until SetSigma)
-	gen     uint64     // bumped by SetSigma; 0 means "empty Σ"
-	created int        // sessions minted so far (≤ size)
-	closed  bool       // set by Close; new Borrows are refused
+	sigma   []*cfd.CFD  // normalized pool Σ (nil until SetSigma)
+	gen     uint64      // bumped by SetSigma/EditSigma; 0 means "empty Σ"
+	deltas  []poolDelta // EditSigma log replayed by lagging shards (edit.go)
+	created int         // sessions minted so far (≤ size)
+	closed  bool        // set by Close; new Borrows are refused
 
 	ctx atomic.Pointer[context.Context] // stamped onto borrowed shards
 }
@@ -179,10 +185,15 @@ func (p *Pool) Size() int { return p.size }
 // their next Borrow. Like Session.SetSigma, CFDs on other relations are
 // dropped.
 func (p *Pool) SetSigma(sigma []*cfd.CFD) error {
+	p.editMu.Lock()
+	defer p.editMu.Unlock()
 	if p.isClosed() {
 		return ErrPoolClosed
 	}
-	normalized := cfd.NormalizeAll(sigma)
+	// Copy: NormalizeAll returns the input slice when already normal, and
+	// the pool Σ must not alias a slice the caller may keep mutating —
+	// EditSigma resolves removals by scanning it.
+	normalized := append([]*cfd.CFD(nil), cfd.NormalizeAll(sigma)...)
 	s := p.take()
 	if err := s.inner.setSigma(normalized); err != nil {
 		s.poolDirty = true
@@ -193,6 +204,7 @@ func (p *Pool) SetSigma(sigma []*cfd.CFD) error {
 	p.sigma = normalized
 	p.gen++
 	gen := p.gen
+	p.deltas = p.deltas[:0] // full recompile: lagging shards cannot delta past it
 	p.mu.Unlock()
 	s.poolGen = gen
 	s.poolDirty = false
@@ -268,16 +280,38 @@ func (p *Pool) Return(s *Session) {
 	p.sessions <- s
 }
 
-// refresh recompiles the pool Σ into a stale shard. A compile failure is
+// refresh brings a stale shard up to the pool's Σ generation. A clean
+// shard that merely lags by logged EditSigma generations replays the
+// deltas in place (delta-compile: CSR splice per addition, tombstone per
+// removal) instead of recompiling Σ; a dirty shard, or one behind a full
+// SetSigma or a trimmed log, recompiles from scratch. A compile failure is
 // reported rather than panicking: it cannot happen for a Σ that passed
 // SetSigma (compilation is deterministic in (universe, Σ)), but a caller
 // that bypassed validation must get an error, not a crash.
 func (p *Pool) refresh(s *Session) error {
 	p.mu.Lock()
 	sigma, gen := p.sigma, p.gen
+	var pending []poolDelta
+	if !s.poolDirty && s.poolGen < gen {
+		pending = p.deltasSince(s.poolGen, gen)
+	}
 	p.mu.Unlock()
 	if s.poolGen == gen && !s.poolDirty {
 		return nil
+	}
+	if pending != nil {
+		ok := true
+		for _, d := range pending {
+			if err := applyDelta(s, d.add, d.remove); err != nil {
+				ok = false // unreachable for a validated delta; fall back
+				break
+			}
+		}
+		if ok {
+			s.poolGen = gen
+			s.poolDirty = false
+			return nil
+		}
 	}
 	if err := s.inner.setSigma(sigma); err != nil {
 		return fmt.Errorf("implication: pool shard recompile failed: %w", err)

@@ -1,0 +1,183 @@
+package propagation
+
+import (
+	"cfdprop/internal/algebra"
+	"cfdprop/internal/cfd"
+)
+
+// EditSet describes one Σ delta: the CFDs an edit adds to and removes from
+// the source constraints. It is the unit of memo migration — Migrate maps
+// an EditSet to the set of tableau pairs whose verdicts it can affect.
+type EditSet struct {
+	AddedSigma   []*cfd.CFD
+	RemovedSigma []*cfd.CFD
+}
+
+// Empty reports whether the edit changes nothing.
+func (e EditSet) Empty() bool { return len(e.AddedSigma) == 0 && len(e.RemovedSigma) == 0 }
+
+// TouchedRelations returns the source relations mentioned by any added or
+// removed CFD. A pair verdict can only change when the chase over its two
+// tableaux changes, and a CFD fires exclusively on tuples of its own
+// relation — so pairs whose disjuncts mention none of these relations are
+// untouched by the edit.
+func (e EditSet) TouchedRelations() map[string]bool {
+	rels := make(map[string]bool, len(e.AddedSigma)+len(e.RemovedSigma))
+	for _, c := range e.AddedSigma {
+		rels[c.Relation] = true
+	}
+	for _, c := range e.RemovedSigma {
+		rels[c.Relation] = true
+	}
+	return rels
+}
+
+// DiffSigma computes the EditSet turning old into new: a multiset diff of
+// the normalized CFDs, matched by String. Order is ignored — Check never
+// depends on Σ order for its Results.
+func DiffSigma(old, new []*cfd.CFD) EditSet {
+	oldN := cfd.NormalizeAll(old)
+	newN := cfd.NormalizeAll(new)
+	count := make(map[string]int, len(oldN))
+	byKey := make(map[string]*cfd.CFD, len(oldN))
+	for _, c := range oldN {
+		k := c.String()
+		count[k]++
+		byKey[k] = c
+	}
+	var edit EditSet
+	for _, c := range newN {
+		k := c.String()
+		if count[k] > 0 {
+			count[k]--
+			continue
+		}
+		edit.AddedSigma = append(edit.AddedSigma, c)
+	}
+	for _, c := range oldN {
+		k := c.String()
+		if count[k] > 0 {
+			count[k]--
+			edit.RemovedSigma = append(edit.RemovedSigma, byKey[k])
+		}
+	}
+	return edit
+}
+
+// CarryStats reports what one Migrate call preserved and invalidated.
+type CarryStats struct {
+	PairsCarried int64 `json:"pairs_carried"`
+	PairsDropped int64 `json:"pairs_dropped"`
+	EmptyCarried int64 `json:"empty_carried"`
+	EmptyDropped int64 `json:"empty_dropped"`
+}
+
+// Migrate builds the memo for the post-edit (Σ', V') scope, carrying every
+// entry the edit provably cannot affect. view is the post-edit view.
+//
+// What survives (the memo-carryover contract):
+//
+//   - Disjunct-emptiness entries for every disjunct still in the view.
+//     Emptiness is intrinsic to the disjunct — discovered at tableau-build
+//     time before Σ is consulted — so a Σ edit never invalidates it.
+//   - Pair (and equality-disjunct) verdicts whose disjuncts mention none
+//     of the edit's touched relations. The pair chase runs Σ over the rows
+//     of the two embedding tableaux; a CFD fires only on tuples of its own
+//     relation, and the chase fixpoint is unique, so when no added or
+//     removed CFD's relation appears in either disjunct the verdict —
+//     including Instantiations, Truncated and the counterexample bytes —
+//     is byte-identical under the edited Σ.
+//   - Unrealizable-premise entries for pairs whose disjuncts are both
+//     still in the view, regardless of touched relations: unrealizability
+//     is decided before Σ is consulted (tableau build plus φ's pattern
+//     constants), so no Σ edit can change it.
+//
+// What is invalidated: verdicts touching an edited relation (recomputed as
+// ordinary misses on the next Check) and entries for disjuncts no longer
+// in the view (a view-clause removal; added clauses start cold).
+//
+// The receiver is read-locked and left unchanged, so requests holding the
+// old memo during a daemon PATCH are unaffected.
+func (m *Memo) Migrate(view *algebra.SPCU, edit EditSet) (*Memo, CarryStats) {
+	next := NewMemo()
+	var cs CarryStats
+	touched := edit.TouchedRelations()
+	// Per post-edit disjunct: its fingerprint (pair codes remap through
+	// these) and whether it is disjoint from the touched relations.
+	ndstr := make([]string, len(view.Disjuncts))
+	newIdx := make(map[string]int, len(view.Disjuncts))
+	keep := make([]bool, len(view.Disjuncts))
+	for i, d := range view.Disjuncts {
+		ndstr[i] = d.String()
+		if _, dup := newIdx[ndstr[i]]; !dup {
+			newIdx[ndstr[i]] = i
+		}
+		ok := true
+		for _, a := range d.Atoms {
+			if touched[a.Source] {
+				ok = false
+				break
+			}
+		}
+		keep[i] = ok
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range m.empty {
+		if _, ok := newIdx[k]; ok {
+			next.empty[k] = v
+			cs.EmptyCarried++
+		} else {
+			cs.EmptyDropped++
+		}
+	}
+	// The old pair codes are disjunct indexes under the pre-edit view;
+	// remap them into the post-edit view through the fingerprints. A
+	// disjunct no longer in the view maps to -1 and drops its entries.
+	remap := make([]int, len(m.dstr))
+	for i, s := range m.dstr {
+		if ni, ok := newIdx[s]; ok {
+			remap[i] = ni
+		} else {
+			remap[i] = -1
+		}
+	}
+	for phiKey, b := range m.byPhi {
+		var nb map[uint32]*memoPairEntry
+		for code, e := range b {
+			i, j, eq := decodeCode(code)
+			if i >= len(remap) || j >= len(remap) {
+				cs.PairsDropped++
+				continue
+			}
+			ni, nj := remap[i], remap[j]
+			if ni < 0 || nj < 0 {
+				cs.PairsDropped++
+				continue
+			}
+			// Σ-independent entries need only their disjuncts to still
+			// exist; chase verdicts additionally need them untouched by the
+			// edit.
+			if !e.unrealizable && !(keep[ni] && keep[nj]) {
+				cs.PairsDropped++
+				continue
+			}
+			if nb == nil {
+				nb = make(map[uint32]*memoPairEntry, len(b))
+			}
+			nc := pairCode(ni, nj)
+			if eq {
+				nc = eqCode(ni)
+			}
+			nb[nc] = e
+			cs.PairsCarried++
+		}
+		if nb != nil {
+			next.byPhi[phiKey] = nb
+		}
+	}
+	next.view, next.dstr = view, ndstr
+	next.carriedPairs = cs.PairsCarried
+	next.carriedEmpty = cs.EmptyCarried
+	return next, cs
+}

@@ -2,7 +2,6 @@ package propagation
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -20,17 +19,38 @@ import (
 // to one (schema, Σ, V) triple — everything a pair outcome depends on
 // besides the keyed φ. Callers must use a fresh Memo whenever Σ or the
 // view changes (the daemon allocates one per cache entry, so its Σ-edit
-// generation bump invalidates the memo for free). Entries replay the
-// exact serial-equivalent counters (Instantiations, Truncated, the
-// counterexample bytes), so a Result assembled from hits is byte-identical
-// to one computed fresh. Stopped or errored pair checks are never stored.
+// generation bump invalidates the memo for free), or migrate the old one
+// across the edit with Migrate. Entries replay the exact serial-equivalent
+// counters (Instantiations, Truncated, the counterexample bytes), so a
+// Result assembled from hits is byte-identical to one computed fresh.
+// Stopped or errored pair checks are never stored.
 type Memo struct {
 	mu    sync.Mutex
 	empty map[string]bool
-	pairs map[string]*memoPairEntry
+	// byPhi buckets the pair entries by their per-φ key — φ's text plus
+	// the option knobs that shape the outcome. Within a bucket, entries
+	// are keyed by the compact pair code: the disjunct index pair under
+	// the memo's cached view (dstr below). Short integer keys let the
+	// O(k²) warm lookups hash four bytes instead of re-hashing ~200-byte
+	// disjunct renders on every pair visit, and let Migrate remap indexes
+	// instead of parsing and re-hashing every key.
+	byPhi map[string]map[uint32]*memoPairEntry
+
+	// view/dstr cache the disjunct fingerprints the pair codes are
+	// relative to, rendered once per memo scope instead of once per Check
+	// call. Set by keyMaker on first use, or by Migrate for the post-edit
+	// view. A different view pointer with identical renders adopts the
+	// cache; different renders mean the scope contract was violated, and
+	// keyMaker resets the pair store — a cold cache is the safe reading.
+	view *algebra.SPCU
+	dstr []string
 
 	hits, misses           atomic.Int64
 	emptyHits, emptyMisses atomic.Int64
+
+	// carriedPairs/carriedEmpty record how many entries Migrate seeded this
+	// memo with (set once at construction, surfaced via Stats).
+	carriedPairs, carriedEmpty int64
 }
 
 // memoPairEntry is one pair check's serial-equivalent contribution.
@@ -38,12 +58,19 @@ type memoPairEntry struct {
 	refuted   bool
 	insts     int
 	truncated bool
-	cex       *rel.Database // nil when stored without WantCounterexample
+	// unrealizable marks a pair whose premise cannot be realized (φ's LHS
+	// pattern constants clash on the equated summaries). The outcome is
+	// discovered before Σ is consulted, so — like disjunct emptiness — it
+	// is Σ-independent; replays contribute no counters, exactly as the
+	// fresh discovery contributes none, so Results stay byte-identical
+	// between warm and cold runs.
+	unrealizable bool
+	cex          *rel.Database // nil when stored without WantCounterexample
 }
 
 // NewMemo returns an empty memo.
 func NewMemo() *Memo {
-	return &Memo{empty: make(map[string]bool), pairs: make(map[string]*memoPairEntry)}
+	return &Memo{empty: make(map[string]bool), byPhi: make(map[string]map[uint32]*memoPairEntry)}
 }
 
 // MemoStats is a point-in-time snapshot of a memo's size and cumulative
@@ -60,6 +87,12 @@ type MemoStats struct {
 	// Parallelism.
 	EmptyHits   int64 `json:"empty_hits"`
 	EmptyMisses int64 `json:"empty_misses"`
+	// CarriedPairs/CarriedEmpty count the entries this memo inherited from
+	// a pre-edit memo via Migrate (0 for a memo born empty): the carryover
+	// half of the delta-edit path — verdicts replayed instead of rechased
+	// after a Σ/V edit.
+	CarriedPairs int64 `json:"carried_pairs,omitempty"`
+	CarriedEmpty int64 `json:"carried_empty,omitempty"`
 }
 
 // Stats snapshots the memo.
@@ -69,13 +102,19 @@ func (m *Memo) Stats() MemoStats {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	pairs := 0
+	for _, b := range m.byPhi {
+		pairs += len(b)
+	}
 	return MemoStats{
-		Pairs:       len(m.pairs),
-		Disjuncts:   len(m.empty),
-		Hits:        m.hits.Load(),
-		Misses:      m.misses.Load(),
-		EmptyHits:   m.emptyHits.Load(),
-		EmptyMisses: m.emptyMisses.Load(),
+		Pairs:        pairs,
+		Disjuncts:    len(m.empty),
+		Hits:         m.hits.Load(),
+		Misses:       m.misses.Load(),
+		EmptyHits:    m.emptyHits.Load(),
+		EmptyMisses:  m.emptyMisses.Load(),
+		CarriedPairs: m.carriedPairs,
+		CarriedEmpty: m.carriedEmpty,
 	}
 }
 
@@ -100,6 +139,73 @@ func (m *Memo) storeEmpty(key string, empty bool) {
 	m.mu.Unlock()
 }
 
+// Pair codes pack a schedule entry's disjunct indexes into one map key:
+// bit 31 flags an equality-CFD entry, pair entries use i<<16|j. Views stay
+// far below 2^15 disjuncts (the pair loop alone is O(k²)), so the packing
+// cannot collide.
+func pairCode(i, j int) uint32 { return uint32(i)<<16 | uint32(j) }
+func eqCode(i int) uint32      { return 1<<31 | uint32(i) }
+
+// decodeCode is the inverse of pairCode/eqCode (for equality entries both
+// returned indexes are the disjunct's).
+func decodeCode(c uint32) (i, j int, eq bool) {
+	if c&(1<<31) != 0 {
+		i = int(c &^ (1 << 31))
+		return i, i, true
+	}
+	return int(c >> 16), int(c & 0xffff), false
+}
+
+// pairKeyMaker is one Check call's handle on the memo's key space: the
+// memo-cached disjunct fingerprints (the emptiness keys, indexed like the
+// view's disjuncts) and the call's φ bucket key. Obtained from
+// Memo.keyMaker; non-nil in the check loops exactly when Options.Memo is.
+type pairKeyMaker struct {
+	disjunct []string
+	phiKey   string
+}
+
+// keyMaker prepares the per-call key fragments, rendering the disjunct
+// fingerprints only on the first call of a memo scope. SPC.String is the
+// dominant cost of key construction, and it is invariant across every
+// Check call sharing the memo — caching it in the memo turns the per-call
+// cost into one φ render.
+func (m *Memo) keyMaker(view *algebra.SPCU, phi *cfd.CFD, opts Options) *pairKeyMaker {
+	m.mu.Lock()
+	if m.view != view {
+		dstr := make([]string, len(view.Disjuncts))
+		for i, d := range view.Disjuncts {
+			dstr[i] = d.String()
+		}
+		if m.view != nil && !equalStrings(m.dstr, dstr) {
+			// The view genuinely changed without a Migrate — a scope-
+			// contract violation. The stored codes are relative to the old
+			// view's indexes, so drop them rather than replay them against
+			// the wrong disjuncts.
+			m.byPhi = make(map[string]map[uint32]*memoPairEntry)
+		}
+		m.view, m.dstr = view, dstr
+	}
+	d := m.dstr
+	m.mu.Unlock()
+	return &pairKeyMaker{
+		disjunct: d,
+		phiKey:   phi.String() + fmt.Sprintf("\x00g=%t,max=%d", opts.General, opts.MaxInstantiations),
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // memoTxn is one Check call's view of a memo: lookups read the shared
 // store, but this call's own stores are buffered and only flushed when
 // the call completes — so the hit/miss pattern over one call's schedule
@@ -113,18 +219,24 @@ type memoTxn struct {
 }
 
 type memoStore struct {
-	key   string
+	phi   string
+	code  uint32
 	entry *memoPairEntry
 }
 
 func (m *Memo) begin() *memoTxn { return &memoTxn{m: m} }
 
-// lookupPair returns a stored outcome for the key. A refuted entry stored
-// without a counterexample does not satisfy a WantCounterexample lookup —
-// the caller recomputes (and the flush upgrades the entry).
-func (t *memoTxn) lookupPair(key string, wantCex bool) (*memoPairEntry, bool) {
+// lookupPair returns a stored outcome for (φ bucket, pair code). A refuted
+// entry stored without a counterexample does not satisfy a
+// WantCounterexample lookup — the caller recomputes (and the flush
+// upgrades the entry).
+func (t *memoTxn) lookupPair(phi string, code uint32, wantCex bool) (*memoPairEntry, bool) {
 	t.m.mu.Lock()
-	e, ok := t.m.pairs[key]
+	var e *memoPairEntry
+	var ok bool
+	if b := t.m.byPhi[phi]; b != nil {
+		e, ok = b[code]
+	}
 	t.m.mu.Unlock()
 	if !ok {
 		return nil, false
@@ -136,9 +248,9 @@ func (t *memoTxn) lookupPair(key string, wantCex bool) (*memoPairEntry, bool) {
 }
 
 // storePair buffers one completed pair outcome for the end-of-call flush.
-func (t *memoTxn) storePair(key string, e *memoPairEntry) {
+func (t *memoTxn) storePair(phi string, code uint32, e *memoPairEntry) {
 	t.mu.Lock()
-	t.stores = append(t.stores, memoStore{key: key, entry: e})
+	t.stores = append(t.stores, memoStore{phi: phi, code: code, entry: e})
 	t.mu.Unlock()
 }
 
@@ -152,38 +264,14 @@ func (t *memoTxn) commit(hits, misses int) {
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()
 	for _, s := range t.stores {
-		if old, ok := t.m.pairs[s.key]; ok && !(old.refuted && old.cex == nil && s.entry.cex != nil) {
+		b := t.m.byPhi[s.phi]
+		if b == nil {
+			b = make(map[uint32]*memoPairEntry)
+			t.m.byPhi[s.phi] = b
+		}
+		if old, ok := b[s.code]; ok && !(old.refuted && old.cex == nil && s.entry.cex != nil) {
 			continue
 		}
-		t.m.pairs[s.key] = s.entry
+		b[s.code] = s.entry
 	}
-}
-
-// disjunctKey fingerprints one union disjunct for the emptiness cache.
-func disjunctKey(e *algebra.SPC) string { return e.String() }
-
-// pairMemoKey fingerprints one pair check: the two disjunct embeddings,
-// the (normalized) view CFD, and the option knobs that shape the outcome.
-// Σ and the schema are deliberately absent — they are fixed by the Memo's
-// scope.
-func pairMemoKey(e1, e2 *algebra.SPC, phi *cfd.CFD, opts Options) string {
-	var b strings.Builder
-	b.WriteString(e1.String())
-	b.WriteByte(0)
-	b.WriteString(e2.String())
-	b.WriteByte(0)
-	b.WriteString(phi.String())
-	fmt.Fprintf(&b, "\x00g=%t,max=%d", opts.General, opts.MaxInstantiations)
-	return b.String()
-}
-
-// equalityMemoKey fingerprints one equality-CFD disjunct check.
-func equalityMemoKey(e *algebra.SPC, phi *cfd.CFD, opts Options) string {
-	var b strings.Builder
-	b.WriteString("eq\x00")
-	b.WriteString(e.String())
-	b.WriteByte(0)
-	b.WriteString(phi.String())
-	fmt.Fprintf(&b, "\x00g=%t,max=%d", opts.General, opts.MaxInstantiations)
-	return b.String()
 }

@@ -61,6 +61,10 @@ type taskOutcome struct {
 	cex       *rel.Database
 	memoHit   bool // served from Options.Memo; counters above are a replay
 	evaluated bool // the pair reached evaluation (prepOK and the loop ran)
+	// unrealizable marks a freshly discovered unrealizable premise: stored
+	// in the memo at assembly (counter-free, like the serial path), so the
+	// next call skips the pair's tableau builds.
+	unrealizable bool
 }
 
 // buildSchedule replays the serial loop's iteration order given the
@@ -134,13 +138,17 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 	if err != nil {
 		return nil, err
 	}
+	var km *pairKeyMaker
+	if opts.Memo != nil {
+		km = opts.Memo.keyMaker(view, phi, opts)
+	}
 	empty := make([]bool, k)
 	for d := 0; d < k; d++ {
 		// Emptiness is intrinsic to the disjunct, so the memo can answer
 		// without a build — the main cross-candidate win in PropCFDSPCU,
 		// where every union candidate re-scouts the same k disjuncts.
 		if opts.Memo != nil {
-			if e, known := opts.Memo.lookupEmpty(disjunctKey(view.Disjuncts[d])); known {
+			if e, known := opts.Memo.lookupEmpty(km.disjunct[d]); known {
 				empty[d] = e
 				continue
 			}
@@ -161,7 +169,7 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 			}
 		}
 		if opts.Memo != nil {
-			opts.Memo.storeEmpty(disjunctKey(view.Disjuncts[d]), empty[d])
+			opts.Memo.storeEmpty(km.disjunct[d], empty[d])
 		}
 	}
 
@@ -220,7 +228,13 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 					continue // zero outcome: counts one pair, nothing else
 				}
 				if opts.txn != nil {
-					if e, hit := opts.txn.lookupPair(taskMemoKey(view, phi, task, opts), opts.WantCounterexample); hit {
+					if e, hit := opts.txn.lookupPair(km.phiKey, taskCode(task), opts.WantCounterexample); hit {
+						if e.unrealizable {
+							// Like the fresh discovery: propagated, no
+							// counters — only the tableau builds are saved.
+							outcomes[t] = taskOutcome{}
+							continue
+						}
 						outcomes[t] = taskOutcome{
 							memoHit:   true,
 							refuted:   e.refuted,
@@ -288,12 +302,14 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 		}
 		if o.evaluated && opts.txn != nil {
 			res.MemoMisses++
-			opts.txn.storePair(taskMemoKey(view, phi, sched[t], opts), &memoPairEntry{
+			opts.txn.storePair(km.phiKey, taskCode(sched[t]), &memoPairEntry{
 				refuted:   o.refuted,
 				insts:     o.insts,
 				truncated: o.truncated,
 				cex:       o.cex,
 			})
+		} else if o.unrealizable && opts.txn != nil {
+			opts.txn.storePair(km.phiKey, taskCode(sched[t]), &memoPairEntry{unrealizable: true})
 		}
 		if o.refuted {
 			res.Propagated = false
@@ -306,12 +322,12 @@ func checkNormalParallel(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD
 	return res, nil
 }
 
-// taskMemoKey fingerprints a schedule entry for the memo.
-func taskMemoKey(view *algebra.SPCU, phi *cfd.CFD, task pairTask, opts Options) string {
+// taskCode is a schedule entry's pair code in the memo's φ bucket.
+func taskCode(task pairTask) uint32 {
 	if task.kind == taskEquality {
-		return equalityMemoKey(view.Disjuncts[task.i], phi, opts)
+		return eqCode(task.i)
 	}
-	return pairMemoKey(view.Disjuncts[task.i], view.Disjuncts[task.j], phi, opts)
+	return pairCode(task.i, task.j)
 }
 
 // safeRunEvalTask is runEvalTask behind the faultinject seam and a panic
@@ -366,7 +382,10 @@ func runEvalTask(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, sigmaN []*
 		return taskOutcome{err: err}
 	}
 	if !ok {
-		return taskOutcome{} // premise unrealizable: propagated, no insts
+		// Premise unrealizable: propagated, no insts. Flag it for the
+		// assembly's memo store (pair tasks only — an equality task cannot
+		// be unrealizable, its premise has no cross-tableau equations).
+		return taskOutcome{unrealizable: task.kind == taskPair}
 	}
 
 	if !opts.General {

@@ -49,9 +49,15 @@
 // option knobs that shape the outcome) and per-disjunct intrinsic
 // emptiness (keyed by the embedding alone — φ-independent, the main
 // cross-candidate win in core.PropCFDSPCU's union-candidate loop). Nothing
-// keyed on mutable state is cached: a Σ or view edit requires a fresh Memo
-// (the daemon ties one Memo to each compiled universe entry, so its Σ-edit
-// generation bump swaps in a fresh memo by construction). Replayed entries
+// keyed on mutable state is cached: a Σ or view edit either requires a
+// fresh Memo or a Memo.Migrate across the EditSet — Migrate carries every
+// entry the edit provably cannot affect (emptiness of surviving disjuncts,
+// pairs whose relations the edit never touches, Σ-independent unrealizable
+// pairs) and drops the rest, so a warm re-check after a small edit replays
+// most of its pair verdicts instead of re-chasing them. The daemon's PUT
+// sigma path swaps in a fresh memo via its generation bump; the PATCH path
+// migrates, and reports the carry-over through Result counters. Replayed
+// entries
 // reproduce the stored Result fields byte-for-byte, and stores are
 // buffered per call and flushed in schedule order, so hit/miss counters
 // are identical at every Parallelism.
@@ -141,6 +147,15 @@ type Options struct {
 	// replay the exact serial-equivalent counters; Result.MemoHits and
 	// Result.MemoMisses report the traffic.
 	Memo *Memo
+	// Prevalidated asserts the caller has already established Check's
+	// input invariants: view.Validate(db) passed, φ is a valid CFD over
+	// the view schema with φ.Relation == view.Name, and
+	// cfd.ValidateAll(sigma, db) passed. Check then skips its per-call
+	// re-validation — the win for callers like core's union candidate
+	// loops, which validate once and then issue one Check per candidate
+	// against the same (db, view, Σ). Results are unchanged; only
+	// malformed-input errors go undetected.
+	Prevalidated bool
 
 	// sp carries the call's stop controls through the internal pair loops;
 	// set by Check, never by callers.
@@ -192,18 +207,23 @@ var ErrFiniteDomains = errors.New("propagation: schema has finite-domain attribu
 
 // Check decides Σ |=V φ.
 func Check(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.CFD, opts Options) (*Result, error) {
-	if err := view.Validate(db); err != nil {
-		return nil, err
-	}
-	if phi.Relation != view.Name {
-		return nil, fmt.Errorf("propagation: %s is on relation %q, view is %q", phi, phi.Relation, view.Name)
-	}
-	vs, err := view.ViewSchema(db)
-	if err != nil {
-		return nil, err
-	}
-	if err := phi.Validate(vs); err != nil {
-		return nil, err
+	if !opts.Prevalidated {
+		if err := view.Validate(db); err != nil {
+			return nil, err
+		}
+		if phi.Relation != view.Name {
+			return nil, fmt.Errorf("propagation: %s is on relation %q, view is %q", phi, phi.Relation, view.Name)
+		}
+		vs, err := view.ViewSchema(db)
+		if err != nil {
+			return nil, err
+		}
+		if err := phi.Validate(vs); err != nil {
+			return nil, err
+		}
+		if err := cfd.ValidateAll(sigma, db); err != nil {
+			return nil, err
+		}
 	}
 	if db.HasFiniteAttr() && !opts.General {
 		return nil, ErrFiniteDomains
@@ -216,9 +236,6 @@ func Check(db *rel.DBSchema, view *algebra.SPCU, sigma []*cfd.CFD, phi *cfd.CFD,
 	}
 	if opts.Parallelism < 1 {
 		opts.Parallelism = 1
-	}
-	if err := cfd.ValidateAll(sigma, db); err != nil {
-		return nil, err
 	}
 	sigmaN := cfd.NormalizeAll(sigma)
 
@@ -448,9 +465,11 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 	// Result stays byte-identical to a cold serial run and to the parallel
 	// path; only the redundant build is skipped.
 	knownEmpty := make([]bool, k)
+	var km *pairKeyMaker
 	if opts.Memo != nil {
+		km = opts.Memo.keyMaker(view, phi, opts)
 		for d := 0; d < k; d++ {
-			if e, known := opts.Memo.lookupEmpty(disjunctKey(view.Disjuncts[d])); known && e {
+			if e, known := opts.Memo.lookupEmpty(km.disjunct[d]); known && e {
 				knownEmpty[d] = true
 			}
 		}
@@ -489,7 +508,7 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 				res.PairsChecked++
 				continue
 			}
-			ok, err := equalityCheck(w, db, view.Disjuncts[i], sigmaN, phi, opts, res)
+			ok, err := equalityCheck(w, db, view, i, km, sigmaN, phi, opts, res)
 			if done, rerr := stopOn(err); done {
 				return res, rerr
 			}
@@ -535,7 +554,7 @@ func checkNormal(db *rel.DBSchema, view *algebra.SPCU, sigmaN []*cfd.CFD, phi *c
 				res.Stopped = r
 				return res, nil
 			}
-			ok, markEmpty, err := pairCheck(w, db, view.Disjuncts[i], view.Disjuncts[j], sigmaN, phi, opts, res)
+			ok, markEmpty, err := pairCheck(w, db, view, i, j, km, sigmaN, phi, opts, res)
 			if done, rerr := stopOn(err); done {
 				return res, rerr
 			}
@@ -578,7 +597,7 @@ func replayPair(e *memoPairEntry, opts Options, res *Result) (ok bool) {
 // (so the pair's own contribution is known exactly), merges it into res,
 // and — when the pair completed — stores it in the memo transaction and
 // counts the miss.
-func evaluatePair(w *pairWorker, db *rel.DBSchema, opts Options, res *Result, ev *pairEval, key string) (bool, error) {
+func evaluatePair(w *pairWorker, db *rel.DBSchema, opts Options, res *Result, ev *pairEval, km *pairKeyMaker, code uint32) (bool, error) {
 	sub := &Result{}
 	ok, _, err := runSetting(w.ci, db, opts, sub, ev)
 	res.Instantiations += sub.Instantiations
@@ -588,7 +607,7 @@ func evaluatePair(w *pairWorker, db *rel.DBSchema, opts Options, res *Result, ev
 	}
 	if err == nil && opts.txn != nil {
 		res.MemoMisses++
-		opts.txn.storePair(key, &memoPairEntry{
+		opts.txn.storePair(km.phiKey, code, &memoPairEntry{
 			refuted:   !ok,
 			insts:     sub.Instantiations,
 			truncated: sub.Truncated,
@@ -598,14 +617,20 @@ func evaluatePair(w *pairWorker, db *rel.DBSchema, opts Options, res *Result, ev
 	return ok, err
 }
 
-// pairCheck tests one disjunct pair. markEmpty reports that the first (1)
-// or second (2) disjunct is unconditionally empty.
-func pairCheck(w *pairWorker, db *rel.DBSchema, e1, e2 *algebra.SPC, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (ok bool, markEmpty int, err error) {
+// pairCheck tests the disjunct pair (i, j). markEmpty reports that the
+// first (1) or second (2) disjunct is unconditionally empty. km is non-nil
+// exactly when opts.Memo is.
+func pairCheck(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, i, j int, km *pairKeyMaker, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (ok bool, markEmpty int, err error) {
+	e1, e2 := view.Disjuncts[i], view.Disjuncts[j]
 	res.PairsChecked++
-	key := ""
+	code := uint32(0)
 	if opts.txn != nil {
-		key = pairMemoKey(e1, e2, phi, opts)
-		if e, hit := opts.txn.lookupPair(key, opts.WantCounterexample); hit {
+		code = pairCode(i, j)
+		if e, hit := opts.txn.lookupPair(km.phiKey, code, opts.WantCounterexample); hit {
+			if e.unrealizable {
+				// Replays like the fresh discovery: propagated, no counters.
+				return true, 0, nil
+			}
 			return replayPair(e, opts, res), 0, nil
 		}
 	}
@@ -616,15 +641,18 @@ func pairCheck(w *pairWorker, db *rel.DBSchema, e1, e2 *algebra.SPC, sigmaN []*c
 		return false, 0, err
 	case outcome == prepEmptyFirst:
 		if opts.Memo != nil {
-			opts.Memo.storeEmpty(disjunctKey(e1), true)
+			opts.Memo.storeEmpty(km.disjunct[i], true)
 		}
 		return true, 1, nil
 	case outcome == prepEmptySecond:
 		if opts.Memo != nil {
-			opts.Memo.storeEmpty(disjunctKey(e2), true)
+			opts.Memo.storeEmpty(km.disjunct[j], true)
 		}
 		return true, 2, nil
 	case outcome == prepUnrealizable:
+		if opts.txn != nil {
+			opts.txn.storePair(km.phiKey, code, &memoPairEntry{unrealizable: true})
+		}
 		return true, 0, nil
 	}
 	ev := &pairEval{
@@ -632,18 +660,19 @@ func pairCheck(w *pairWorker, db *rel.DBSchema, e1, e2 *algebra.SPC, sigmaN []*c
 		evaluate: pairEvaluate(w, sigmaN, t1, t2, phi.RHS[0]),
 		verdict:  pairVerdict(w, t1, t2, phi.RHS[0]),
 	}
-	ok, err = evaluatePair(w, db, opts, res, ev, key)
+	ok, err = evaluatePair(w, db, opts, res, ev, km, code)
 	return ok, 0, err
 }
 
-// equalityCheck tests a special-form view CFD V(A → B, (x ‖ x)) against a
-// single disjunct.
-func equalityCheck(w *pairWorker, db *rel.DBSchema, e *algebra.SPC, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (bool, error) {
+// equalityCheck tests a special-form view CFD V(A → B, (x ‖ x)) against
+// disjunct i. km is non-nil exactly when opts.Memo is.
+func equalityCheck(w *pairWorker, db *rel.DBSchema, view *algebra.SPCU, i int, km *pairKeyMaker, sigmaN []*cfd.CFD, phi *cfd.CFD, opts Options, res *Result) (bool, error) {
+	e := view.Disjuncts[i]
 	res.PairsChecked++
-	key := ""
+	code := uint32(0)
 	if opts.txn != nil {
-		key = equalityMemoKey(e, phi, opts)
-		if me, hit := opts.txn.lookupPair(key, opts.WantCounterexample); hit {
+		code = eqCode(i)
+		if me, hit := opts.txn.lookupPair(km.phiKey, code, opts.WantCounterexample); hit {
 			return replayPair(me, opts, res), nil
 		}
 	}
@@ -654,7 +683,7 @@ func equalityCheck(w *pairWorker, db *rel.DBSchema, e *algebra.SPC, sigmaN []*cf
 	}
 	if outcome == prepEmptyFirst {
 		if opts.Memo != nil {
-			opts.Memo.storeEmpty(disjunctKey(e), true)
+			opts.Memo.storeEmpty(km.disjunct[i], true)
 		}
 		return true, nil
 	}
@@ -663,7 +692,7 @@ func equalityCheck(w *pairWorker, db *rel.DBSchema, e *algebra.SPC, sigmaN []*cf
 		evaluate: equalityEvaluate(w, sigmaN, t, phi.LHS[0].Attr, phi.RHS[0].Attr),
 		verdict:  equalityVerdict(w, t, phi.LHS[0].Attr, phi.RHS[0].Attr),
 	}
-	return evaluatePair(w, db, opts, res, ev, key)
+	return evaluatePair(w, db, opts, res, ev, km, code)
 }
 
 // enumPlan describes a pair's finite-domain enumeration: the unbound
